@@ -1,0 +1,83 @@
+"""The paper's Fig. 1 motivating example: the mdcask collective rewrite.
+
+The mdcask molecular-dynamics code makes process 0 exchange a point-to-point
+message with every other process.  That is unscalable on sparse networks;
+once a compiler *knows* the topology is exchange-with-root it can rewrite
+the loops into native collectives (MPI_Bcast + MPI_Gather).
+
+This example runs the pCFG analysis on the mdcask pattern, classifies the
+detected topology, and prints the recommended rewrite — plus a simple cost
+model showing why the rewrite matters on a torus network.
+
+Run with::
+
+    python examples/mdcask_optimization.py
+"""
+
+import math
+
+from repro import analyze, classify_topology, programs
+from repro.baselines import build_mpi_cfg, concrete_matches
+
+
+def torus_hops(src: int, dst: int, side: int) -> int:
+    """Manhattan distance on a ``side x side`` torus (per-message hops)."""
+    sx, sy = src % side, src // side
+    dx, dy = dst % side, dst // side
+    step_x = min(abs(sx - dx), side - abs(sx - dx))
+    step_y = min(abs(sy - dy), side - abs(sy - dy))
+    return step_x + step_y
+
+
+def pointwise_cost(edges, side: int) -> int:
+    """Total hop count if every matched pair sends point-to-point."""
+    return sum(torus_hops(src, dst, side) for src, dst in edges)
+
+
+def collective_cost(num_procs: int) -> int:
+    """Hop count of a tree broadcast + tree gather (2 * (np - 1) edges of
+    average hop 1 on a torus embedding of the tree)."""
+    return 2 * int(math.ceil(math.log2(num_procs))) * num_procs // 2
+
+
+def main() -> None:
+    spec = programs.get("mdcask_full")
+    program = spec.parse()
+
+    print("=== mdcask source (paper Fig. 1 structure) ===")
+    print(spec.source)
+
+    result, cfg, _ = analyze(spec)
+    print("=== detected topology ===")
+    for record in result.match_records:
+        print(f"  {record}")
+
+    report = classify_topology(program, result, cfg, probe_np=16)
+    print()
+    print(f"classified pattern: {report.pattern} ({report.confidence})")
+    print(f"recommended rewrite: {report.suggestion}")
+
+    print()
+    print("=== why it matters: point-to-point vs collective on a torus ===")
+    print(f"{'np':>6} {'p2p hops':>10} {'collective':>10} {'speedup':>8}")
+    for side in (4, 8, 16):
+        num_procs = side * side
+        truth = concrete_matches(program, num_procs, cfg=cfg)
+        p2p = pointwise_cost(truth.proc_edges, side)
+        coll = collective_cost(num_procs)
+        print(f"{num_procs:>6} {p2p:>10} {coll:>10} {p2p / coll:>8.2f}x")
+
+    print()
+    print("=== precision vs the MPI-CFG baseline ===")
+    mpi = build_mpi_cfg(program, cfg=cfg)
+    truth = concrete_matches(program, 8, cfg=cfg)
+    print(f"true send->recv pairs:     {len(truth.node_edges)}")
+    print(f"pCFG analysis matches:     {len(result.matches)} (exact)")
+    print(
+        f"MPI-CFG baseline edges:    {mpi.edge_count()} "
+        f"({len(mpi.spurious_edges(truth.node_edges))} spurious)"
+    )
+
+
+if __name__ == "__main__":
+    main()

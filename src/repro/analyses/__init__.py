@@ -1,0 +1,32 @@
+"""Client analyses instantiating the pCFG framework.
+
+* :mod:`repro.analyses.simple_symbolic` — Section VII: constraint-graph
+  state, symbolic-range process sets, ``var + c`` message expressions.
+* :mod:`repro.analyses.cartesian` — Section VIII: Hierarchical Sequence Map
+  message expressions for Cartesian-grid patterns (NAS-CG transpose).
+* :mod:`repro.analyses.constprop` — parallel constant propagation (Fig. 2).
+* :mod:`repro.analyses.bugs` — message-leak / type-mismatch / stuck-receive
+  detection built on analysis results.
+* :mod:`repro.analyses.patterns` — communication-pattern classification
+  (broadcast, gather, exchange-with-root, shift, transpose, ...), enabling
+  the Fig. 1 collective-rewrite recommendation.
+"""
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
+from repro.analyses.cartesian import CartesianClient, analyze_cartesian
+from repro.analyses.constprop import ConstantPropagationClient, propagate_constants
+from repro.analyses.bugs import BugReport, detect_bugs
+from repro.analyses.patterns import PatternReport, classify_topology
+
+__all__ = [
+    "SimpleSymbolicClient",
+    "analyze_program",
+    "CartesianClient",
+    "analyze_cartesian",
+    "ConstantPropagationClient",
+    "propagate_constants",
+    "BugReport",
+    "detect_bugs",
+    "PatternReport",
+    "classify_topology",
+]

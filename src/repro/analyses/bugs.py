@@ -1,0 +1,115 @@
+"""Static communication-bug detection (paper Section I applications).
+
+Three detectors built on the pCFG analysis result:
+
+* **Message leaks** — a send that can never be received: either an in-flight
+  send still pending in some terminal state, or a process set permanently
+  blocked at a send when the analysis gave up.
+* **Stuck receives** — a process set permanently blocked at a receive with
+  no matching send (the ``T`` give-up case of Section VI, turned into a
+  diagnostic).
+* **Type mismatches** — a *matched* send-receive pair whose declared message
+  types disagree (the analysis framework makes this precise because matches
+  are exact, unlike the all-pairs MPI-CFG baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
+from repro.core.engine import AnalysisResult
+from repro.core.topology import MatchRecord
+from repro.lang.cfg import CFG, NodeKind
+
+
+@dataclass
+class BugReport:
+    """Findings of the static bug detectors."""
+
+    #: CFG send nodes whose messages are provably never received (an
+    #: in-flight message survives to a terminal analysis state)
+    leaked_sends: List[int] = field(default_factory=list)
+    #: CFG send nodes blocked when the analysis gave up (may be a real leak
+    #: or an expressiveness limit — reported as potential)
+    potential_leaks: List[int] = field(default_factory=list)
+    #: CFG receive nodes that may block forever
+    stuck_receives: List[int] = field(default_factory=list)
+    #: matched pairs with inconsistent declared types
+    type_mismatches: List[MatchRecord] = field(default_factory=list)
+    #: True when the analysis fell to T for a reason other than a diagnosed bug
+    inconclusive: bool = False
+    gave_up: bool = False
+    give_up_reason: str = ""
+
+    def is_clean(self) -> bool:
+        """True iff no bug was found and the analysis was conclusive."""
+        return (
+            not self.leaked_sends
+            and not self.potential_leaks
+            and not self.stuck_receives
+            and not self.type_mismatches
+            and not self.inconclusive
+        )
+
+    def describe(self) -> str:
+        """Human-readable findings."""
+        lines = []
+        for node in self.leaked_sends:
+            lines.append(f"message leak: send at CFG node {node} is never received")
+        for node in self.potential_leaks:
+            lines.append(
+                f"potential message leak: send at CFG node {node} may never "
+                "be received (analysis gave up)"
+            )
+        for node in self.stuck_receives:
+            lines.append(f"stuck receive: CFG node {node} may block forever")
+        for record in self.type_mismatches:
+            lines.append(
+                f"type mismatch: {record} sends {record.mtype_send} "
+                f"but receives {record.mtype_recv}"
+            )
+        if self.inconclusive:
+            lines.append(f"analysis inconclusive (T): {self.give_up_reason}")
+        return "\n".join(lines) if lines else "no communication bugs found"
+
+
+def detect_bugs(
+    program_or_spec,
+    client: Optional[SimpleSymbolicClient] = None,
+) -> Tuple[BugReport, AnalysisResult, CFG]:
+    """Run the analysis and derive a bug report."""
+    client = client or SimpleSymbolicClient()
+    result, cfg, client = analyze_program(program_or_spec, client)
+    report = BugReport(gave_up=result.gave_up, give_up_reason=result.give_up_reason)
+
+    for record in result.match_records:
+        if record.mtype_send != record.mtype_recv:
+            report.type_mismatches.append(record)
+
+    # in-flight sends surviving to a terminal state are leaks
+    for state in result.final_states:
+        for site in client.pending_sites(state):
+            if site not in report.leaked_sends:
+                report.leaked_sends.append(site)
+
+    if result.gave_up:
+        diagnosed = False
+        for node_id, _desc in result.blocked_at_giveup:
+            kind = cfg.node(node_id).kind
+            if kind == NodeKind.SEND:
+                if node_id not in report.potential_leaks:
+                    report.potential_leaks.append(node_id)
+                diagnosed = True
+            elif kind == NodeKind.RECV:
+                if node_id not in report.stuck_receives:
+                    report.stuck_receives.append(node_id)
+                diagnosed = True
+        if not diagnosed:
+            report.inconclusive = True
+
+    report.leaked_sends.sort()
+    report.potential_leaks.sort()
+    report.stuck_receives.sort()
+    return report, result, cfg

@@ -1,0 +1,17 @@
+"""Baseline analyses the paper compares against (Section II).
+
+* :mod:`repro.baselines.mpi_cfg` — MPI-CFGs (Shires et al.): connect every
+  send to every receive, then prune edges using *sequential* information
+  (mismatched message types, contradictory constant endpoints).  Sound but
+  imprecise: its edge set over-approximates the true topology.
+* :mod:`repro.baselines.concrete` — a model-checking-style exact matcher for
+  a *fixed* process count: it simply executes the deterministic semantics
+  for a concrete ``np`` and reports the exact match relation.  Perfectly
+  precise, but its cost grows with ``np`` and it says nothing about other
+  process counts — the contrast that motivates the pCFG framework.
+"""
+
+from repro.baselines.concrete import ConcreteResult, concrete_matches
+from repro.baselines.mpi_cfg import MPICFGResult, build_mpi_cfg
+
+__all__ = ["build_mpi_cfg", "MPICFGResult", "concrete_matches", "ConcreteResult"]

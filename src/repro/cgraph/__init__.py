@@ -1,0 +1,42 @@
+"""Constraint-graph (difference-bound) program state abstraction.
+
+This is the Section VII-A state analysis: application state is a conjunction
+of inequalities of the form ``j <= i + c`` over program variables, stored as
+a weighted graph (equivalently, a difference-bound matrix).  Key operations —
+transitive closure, meet, join, widening, affine assignment — follow CLR
+chapter 24.4/25.5 and Shaham et al., as the paper prescribes.
+
+Process-set namespaces: each process set owns a private copy of every
+variable (including ``id``); helpers in :mod:`repro.cgraph.namespaces`
+qualify, copy, rename and drop whole namespaces as sets split and merge.
+
+Instrumentation: every transitive closure records its cost in
+:class:`~repro.cgraph.stats.ClosureStats`, reproducing the Section IX
+performance profile (closure counts, average variable counts, closure time
+share).
+"""
+
+from repro.cgraph.constraint_graph import ConstraintGraph, INF
+from repro.cgraph.namespaces import (
+    GLOBALS,
+    drop_namespace,
+    namespace_of,
+    qualify,
+    rename_namespace,
+    unqualify,
+)
+from repro.cgraph.stats import ClosureStats, global_stats, reset_global_stats
+
+__all__ = [
+    "ConstraintGraph",
+    "INF",
+    "ClosureStats",
+    "global_stats",
+    "reset_global_stats",
+    "qualify",
+    "unqualify",
+    "namespace_of",
+    "rename_namespace",
+    "drop_namespace",
+    "GLOBALS",
+]

@@ -1,0 +1,580 @@
+"""Difference-bound constraint graphs.
+
+A :class:`ConstraintGraph` is a conjunction of inequalities ``y <= x + c``
+over named integer variables, plus a distinguished zero node so absolute
+bounds (``x <= 5``) are the special case ``x <= ZERO + 5``.  This is the
+constraint-graph representation of CLR ch. 24.4/25.5 used by the paper's
+Section VII-A state analysis.
+
+Consistency is maintained by transitive closure (Floyd–Warshall, O(n^3)) or
+by an incremental single-constraint update (O(n^2)); both are instrumented
+through :mod:`repro.cgraph.stats` because reproducing the paper's Section IX
+profile requires counting exactly these operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.cgraph.stats import ClosureStats, global_stats, timed
+from repro.expr.linear import LinearExpr
+
+#: distinguished node representing the constant 0
+ZERO = "__0__"
+
+#: absence of a constraint (y - x unbounded above)
+INF = None
+
+
+class ConstraintGraph:
+    """A (possibly infeasible) conjunction of difference constraints.
+
+    The graph is *closed* when all transitively implied constraints are
+    explicit; query methods close on demand.  ``bottom`` (infeasible) states
+    arise from contradictory constraints and absorb all further additions.
+    """
+
+    def __init__(
+        self, stats: Optional[ClosureStats] = None, naive_closure: bool = False
+    ):
+        # _bound[x][y] = c  <=>  y <= x + c  (edge x --c--> y)
+        self._bound: Dict[str, Dict[str, int]] = {ZERO: {}}
+        self._closed = True
+        self._infeasible = False
+        self._stats = stats if stats is not None else global_stats()
+        #: ablation switch reproducing the paper's prototype cost profile:
+        #: re-run the full O(n^3) closure before every query instead of
+        #: tracking closedness (Section IX's dominant cost)
+        self.naive_closure = naive_closure
+
+    # -- basics ---------------------------------------------------------------
+
+    def copy(self) -> "ConstraintGraph":
+        """Deep copy sharing the stats sink."""
+        clone = ConstraintGraph(self._stats, self.naive_closure)
+        clone._bound = {src: dict(dsts) for src, dsts in self._bound.items()}
+        clone._closed = self._closed
+        clone._infeasible = self._infeasible
+        return clone
+
+    @property
+    def infeasible(self) -> bool:
+        """True iff the constraints are contradictory (bottom state)."""
+        self._ensure_closed()
+        return self._infeasible
+
+    def variables(self) -> Set[str]:
+        """All tracked variable names (excluding the zero node)."""
+        return {name for name in self._bound if name != ZERO}
+
+    def add_var(self, name: str) -> None:
+        """Track a variable (initially unconstrained)."""
+        if name not in self._bound:
+            self._bound[name] = {}
+
+    def has_var(self, name: str) -> bool:
+        """True iff the variable is tracked."""
+        return name in self._bound
+
+    # -- constraint entry -------------------------------------------------------
+
+    def add_diff(self, x: str, y: str, c: int) -> None:
+        """Assert ``y <= x + c``."""
+        if self._infeasible:
+            return
+        self.add_var(x)
+        self.add_var(y)
+        if x == y:
+            if c < 0:
+                self._infeasible = True
+            return
+        current = self._bound[x].get(y)
+        if current is None or c < current:
+            self._bound[x][y] = c
+            self._closed = False
+
+    def add_upper(self, x: str, c: int) -> None:
+        """Assert ``x <= c``."""
+        self.add_diff(ZERO, x, c)
+
+    def add_lower(self, x: str, c: int) -> None:
+        """Assert ``x >= c``."""
+        self.add_diff(x, ZERO, -c)
+
+    def set_const(self, x: str, c: int) -> None:
+        """Assert ``x == c``."""
+        self.add_upper(x, c)
+        self.add_lower(x, c)
+
+    def add_eq_diff(self, x: str, y: str, c: int) -> None:
+        """Assert ``y == x + c``."""
+        self.add_diff(x, y, c)
+        self.add_diff(y, x, -c)
+
+    def assume_leq(self, lhs: LinearExpr, rhs: LinearExpr) -> bool:
+        """Assert ``lhs <= rhs`` when expressible as a difference constraint.
+
+        Returns False (and adds nothing) when the inequality is outside the
+        difference-constraint fragment; callers treat that as "no
+        information", which is sound.
+        """
+        delta = lhs - rhs  # want delta <= 0
+        coeffs = delta.coeffs
+        const = delta.constant
+        names = sorted(coeffs)
+        if not names:
+            if const > 0:
+                self._infeasible = True
+            return True
+        if len(names) == 1:
+            name = names[0]
+            coeff = coeffs[name]
+            if coeff == 1:
+                self.add_upper(name, -const)
+                return True
+            if coeff == -1:
+                self.add_lower(name, const)
+                return True
+            return False
+        if len(names) == 2:
+            a, b = names
+            ca, cb = coeffs[a], coeffs[b]
+            if ca == 1 and cb == -1:
+                # a - b + const <= 0  =>  a <= b - const
+                self.add_diff(b, a, -const)
+                return True
+            if ca == -1 and cb == 1:
+                self.add_diff(a, b, -const)
+                return True
+        return False
+
+    def assume_eq(self, lhs: LinearExpr, rhs: LinearExpr) -> bool:
+        """Assert ``lhs == rhs`` (both directions must be expressible)."""
+        first = self.assume_leq(lhs, rhs)
+        second = self.assume_leq(rhs, lhs)
+        return first and second
+
+    # -- closure ---------------------------------------------------------------
+
+    def _ensure_closed(self) -> None:
+        if self.naive_closure and not self._infeasible:
+            self.close()
+            return
+        if not self._closed and not self._infeasible:
+            self.close()
+
+    def close(self) -> None:
+        """Full O(n^3) transitive closure (Floyd-Warshall), instrumented."""
+        names = [ZERO] + sorted(self.variables())
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        with timed() as clock:
+            matrix: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+            for i in range(n):
+                matrix[i][i] = 0
+            for src, dsts in self._bound.items():
+                i = index[src]
+                for dst, c in dsts.items():
+                    j = index[dst]
+                    if matrix[i][j] is None or c < matrix[i][j]:
+                        matrix[i][j] = c
+            for k in range(n):
+                row_k = matrix[k]
+                for i in range(n):
+                    via = matrix[i][k]
+                    if via is None:
+                        continue
+                    row_i = matrix[i]
+                    for j in range(n):
+                        step = row_k[j]
+                        if step is None:
+                            continue
+                        total = via + step
+                        if row_i[j] is None or total < row_i[j]:
+                            row_i[j] = total
+            infeasible = any(matrix[i][i] is not None and matrix[i][i] < 0 for i in range(n))
+            bound: Dict[str, Dict[str, int]] = {name: {} for name in names}
+            for i, src in enumerate(names):
+                for j, dst in enumerate(names):
+                    if i != j and matrix[i][j] is not None:
+                        bound[src][dst] = matrix[i][j]
+        self._stats.record_full(n - 1, clock.elapsed)
+        self._bound = bound
+        self._infeasible = self._infeasible or infeasible
+        self._closed = True
+
+    def close_incremental(self, x: str, y: str, c: int) -> None:
+        """O(n^2) re-closure after adding the single constraint ``y <= x + c``.
+
+        Precondition: the graph was closed before the constraint was added.
+        Used by hot paths (assignment transfer); instrumented separately.
+        """
+        if self._infeasible:
+            return
+        self.add_var(x)
+        self.add_var(y)
+        names = [ZERO] + sorted(self.variables())
+        with timed() as clock:
+            existing = self._bound[x].get(y)
+            if existing is not None and existing <= c:
+                self._closed = True
+                self._stats.record_incremental(len(names) - 1, clock.elapsed)
+                return
+            self._bound[x][y] = c
+            if x == y:
+                if c < 0:
+                    self._infeasible = True
+                self._stats.record_incremental(len(names) - 1, clock.elapsed)
+                return
+            for u in names:
+                to_x = 0 if u == x else self._bound[u].get(x)
+                if to_x is None:
+                    continue
+                for v in names:
+                    from_y = 0 if v == y else self._bound[y].get(v)
+                    if from_y is None:
+                        continue
+                    total = to_x + c + from_y
+                    if u == v:
+                        if total < 0:
+                            self._infeasible = True
+                        continue
+                    current = self._bound[u].get(v)
+                    if current is None or total < current:
+                        self._bound[u][v] = total
+        self._closed = True
+        self._stats.record_incremental(len(names) - 1, clock.elapsed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def diff_bound(self, x: str, y: str) -> Optional[int]:
+        """The least c with ``y <= x + c`` implied, or None if unbounded."""
+        self._ensure_closed()
+        if self._infeasible:
+            return 0
+        if x == y:
+            return 0
+        if x not in self._bound or y not in self._bound:
+            return None
+        return self._bound[x].get(y)
+
+    def entails_diff(self, x: str, y: str, c: int) -> bool:
+        """True iff ``y <= x + c`` is implied."""
+        self._ensure_closed()
+        if self._infeasible:
+            return True
+        bound = self.diff_bound(x, y)
+        return bound is not None and bound <= c
+
+    def entails_leq(self, lhs: LinearExpr, rhs: LinearExpr) -> Optional[bool]:
+        """Three-valued entailment of ``lhs <= rhs``.
+
+        True: implied.  False: the negation is implied.  None: unknown or
+        outside the difference fragment.
+        """
+        self._ensure_closed()
+        if self._infeasible:
+            return True
+        delta = lhs - rhs
+        coeffs = delta.coeffs
+        const = delta.constant
+        names = sorted(coeffs)
+        if not names:
+            return const <= 0
+        if len(names) == 1:
+            name = names[0]
+            if not self.has_var(name):
+                return None
+            coeff = coeffs[name]
+            if coeff == 1:
+                if self.entails_diff(ZERO, name, -const):
+                    return True
+                if self.entails_diff(name, ZERO, const - 1):
+                    # name >= 1 - const  =>  delta >= 1 > 0
+                    return False
+                return None
+            if coeff == -1:
+                # delta = -name + const <= 0  <=>  name >= const
+                if self.entails_diff(name, ZERO, -const):
+                    return True
+                # negation: name <= const - 1
+                if self.entails_diff(ZERO, name, const - 1):
+                    return False
+                return None
+            return None
+        if len(names) == 2:
+            a, b = names
+            ca, cb = coeffs[a], coeffs[b]
+            if not (self.has_var(a) and self.has_var(b)):
+                return None
+            if ca == 1 and cb == -1:
+                if self.entails_diff(b, a, -const):
+                    return True
+                if self.entails_diff(a, b, const - 1):
+                    return False
+                return None
+            if ca == -1 and cb == 1:
+                if self.entails_diff(a, b, -const):
+                    return True
+                if self.entails_diff(b, a, const - 1):
+                    return False
+                return None
+        return None
+
+    def entails_eq(self, lhs: LinearExpr, rhs: LinearExpr) -> Optional[bool]:
+        """Three-valued entailment of ``lhs == rhs``."""
+        first = self.entails_leq(lhs, rhs)
+        second = self.entails_leq(rhs, lhs)
+        if first is True and second is True:
+            return True
+        if first is False or second is False:
+            return False
+        return None
+
+    def const_value(self, name: str) -> Optional[int]:
+        """The exact value of a variable, when pinned."""
+        upper = self.diff_bound(ZERO, name)
+        lower = self.diff_bound(name, ZERO)
+        if upper is not None and lower is not None and upper == -lower:
+            return upper
+        return None
+
+    def eval_const(self, expr: LinearExpr) -> Optional[int]:
+        """Exact integer value of an affine expression, when pinned."""
+        total = expr.constant
+        for name, coeff in expr.coeffs.items():
+            value = self.const_value(name)
+            if value is None:
+                return None
+            total += coeff * value
+        return total
+
+    def equivalents(self, expr: LinearExpr, vocabulary: Iterable[str]) -> Set[LinearExpr]:
+        """All ``var + c`` / constant expressions provably equal to ``expr``.
+
+        ``expr`` must be of shape ``var + c0`` or a constant; this is the
+        bound-equivalence-set operation the Section VII process-set
+        representation relies on.
+        """
+        self._ensure_closed()
+        result: Set[LinearExpr] = {expr}
+        if self._infeasible:
+            return result
+        split = expr.split_var_plus_const()
+        if split is not None:
+            base, offset = split
+            if not self.has_var(base):
+                return result
+            value = self.const_value(base)
+            if value is not None:
+                result.add(LinearExpr.const(value + offset))
+            for other in vocabulary:
+                if other == base or not self.has_var(other):
+                    continue
+                forward = self.diff_bound(base, other)
+                backward = self.diff_bound(other, base)
+                if forward is not None and backward is not None and forward == -backward:
+                    # other == base + forward  =>  expr == other + offset - forward
+                    result.add(LinearExpr.var(other) + (offset - forward))
+            return result
+        constant = expr.as_constant()
+        if constant is not None:
+            for other in vocabulary:
+                if not self.has_var(other):
+                    continue
+                value = self.const_value(other)
+                if value is not None:
+                    # other == value  =>  constant == other + (constant - value)
+                    result.add(LinearExpr.var(other) + (constant - value))
+        return result
+
+    # -- transfer ---------------------------------------------------------------
+
+    def havoc(self, name: str) -> None:
+        """Forget everything about a variable (e.g. ``x = input()``)."""
+        self._ensure_closed()
+        if name not in self._bound:
+            self.add_var(name)
+            return
+        self._bound[name] = {}
+        for src, dsts in self._bound.items():
+            dsts.pop(name, None)
+        # projection of a closed graph stays closed
+
+    def remove_var(self, name: str) -> None:
+        """Project a variable out entirely."""
+        self._ensure_closed()
+        if name not in self._bound:
+            return
+        del self._bound[name]
+        for dsts in self._bound.values():
+            dsts.pop(name, None)
+
+    def remove_vars(self, names: Iterable[str]) -> None:
+        """Project several variables out."""
+        self._ensure_closed()
+        doomed = set(names)
+        for name in doomed:
+            self._bound.pop(name, None)
+        for dsts in self._bound.values():
+            for name in doomed:
+                dsts.pop(name, None)
+
+    def assign(self, target: str, expr: Optional[LinearExpr]) -> None:
+        """Transfer function for ``target = expr``.
+
+        ``expr`` of shape ``target + c`` is the in-place increment (the
+        Fig. 5 loop counter); other affine single-variable or constant
+        expressions re-bind the target; anything else (or ``None``) havocs.
+        """
+        self._ensure_closed()
+        if self._infeasible:
+            return
+        if expr is None:
+            self.havoc(target)
+            return
+        constant = expr.as_constant()
+        if constant is not None:
+            self.havoc(target)
+            self.close_incremental(ZERO, target, constant)
+            self.close_incremental(target, ZERO, -constant)
+            return
+        split = expr.split_var_plus_const()
+        if split is None:
+            self.havoc(target)
+            return
+        base, offset = split
+        if base == target:
+            # x := x + c  — shift every bound that mentions x
+            self.add_var(target)
+            for src, dsts in self._bound.items():
+                if src == target:
+                    continue
+                if target in dsts:
+                    dsts[target] += offset
+            for dst in list(self._bound[target]):
+                self._bound[target][dst] -= offset
+            return
+        self.havoc(target)
+        self.add_var(base)
+        self.close_incremental(base, target, offset)
+        self.close_incremental(target, base, -offset)
+
+    def rename(self, mapping: Mapping[str, str]) -> None:
+        """Rename variables (used when process-set ids change)."""
+        def rn(name: str) -> str:
+            return mapping.get(name, name)
+
+        self._bound = {
+            rn(src): {rn(dst): c for dst, c in dsts.items()}
+            for src, dsts in self._bound.items()
+        }
+
+    def copy_namespace_from(
+        self, source_vars: Iterable[str], mapping: Mapping[str, str]
+    ) -> None:
+        """Duplicate constraints of ``source_vars`` onto fresh copies.
+
+        For each constraint among the source variables (and between a source
+        variable and any outside variable), the same constraint is added with
+        source variables replaced via ``mapping``.  This implements the
+        "state of the new set is a copy of the old set" rule for process-set
+        splits.
+        """
+        self._ensure_closed()
+        sources = set(source_vars)
+        for new_name in mapping.values():
+            self.add_var(new_name)
+        additions: List[Tuple[str, str, int]] = []
+        for src, dsts in self._bound.items():
+            for dst, c in dsts.items():
+                src_in = src in sources
+                dst_in = dst in sources
+                if not (src_in or dst_in):
+                    continue
+                new_src = mapping.get(src, src) if src_in else src
+                new_dst = mapping.get(dst, dst) if dst_in else dst
+                additions.append((new_src, new_dst, c))
+        for src, dst, c in additions:
+            self.add_diff(src, dst, c)
+
+    # -- lattice ----------------------------------------------------------------
+
+    def join(self, other: "ConstraintGraph") -> "ConstraintGraph":
+        """Least upper bound (union of solution sets, convex-hull approx)."""
+        self._ensure_closed()
+        other._ensure_closed()
+        if self._infeasible:
+            return other.copy()
+        if other._infeasible:
+            return self.copy()
+        result = ConstraintGraph(self._stats)
+        for name in self.variables() | other.variables():
+            result.add_var(name)
+        for src, dsts in self._bound.items():
+            other_dsts = other._bound.get(src)
+            if other_dsts is None:
+                continue
+            for dst, c in dsts.items():
+                oc = other_dsts.get(dst)
+                if oc is not None:
+                    result._bound.setdefault(src, {})[dst] = max(c, oc)
+        result._closed = True  # max of two closed DBMs is closed
+        return result
+
+    def meet(self, other: "ConstraintGraph") -> "ConstraintGraph":
+        """Greatest lower bound (conjunction of both constraint sets)."""
+        result = self.copy()
+        for src, dsts in other._bound.items():
+            for dst, c in dsts.items():
+                result.add_diff(src, dst, c)
+        result._closed = False
+        return result
+
+    def widen(self, newer: "ConstraintGraph") -> "ConstraintGraph":
+        """Standard DBM widening: drop constraints the new state weakened."""
+        self._ensure_closed()
+        newer._ensure_closed()
+        if self._infeasible:
+            return newer.copy()
+        if newer._infeasible:
+            return self.copy()
+        result = ConstraintGraph(self._stats)
+        for name in self.variables() | newer.variables():
+            result.add_var(name)
+        for src, dsts in self._bound.items():
+            newer_dsts = newer._bound.get(src, {})
+            for dst, c in dsts.items():
+                nc = newer_dsts.get(dst)
+                if nc is not None and nc <= c:
+                    result._bound.setdefault(src, {})[dst] = c
+        # deliberately NOT closed: re-closing after widening can undo it;
+        # the result is still a sound (weaker) constraint set
+        result._closed = True
+        return result
+
+    def equivalent_to(self, other: "ConstraintGraph") -> bool:
+        """Semantic equality of two constraint graphs (via closures)."""
+        self._ensure_closed()
+        other._ensure_closed()
+        if self._infeasible or other._infeasible:
+            return self._infeasible == other._infeasible
+        names = self.variables() | other.variables() | {ZERO}
+        for x in names:
+            for y in names:
+                if x == y:
+                    continue
+                mine = self._bound.get(x, {}).get(y)
+                theirs = other._bound.get(x, {}).get(y)
+                if mine != theirs:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        if self._infeasible:
+            return "ConstraintGraph(bottom)"
+        parts = []
+        for src in sorted(self._bound):
+            for dst, c in sorted(self._bound[src].items()):
+                parts.append(f"{dst} <= {src} + {c}")
+        return f"ConstraintGraph({'; '.join(parts)})"

@@ -1,0 +1,114 @@
+"""Command-line driver: ``python -m repro [options] <program.mpl | name>``.
+
+Examples::
+
+    python -m repro exchange_with_root             # analyze a corpus program
+    python -m repro --list                         # list corpus programs
+    python -m repro my_program.mpl --np 8          # analyze + validate a file
+    python -m repro pingpong --constants           # constant propagation
+    python -m repro message_leak --bugs            # bug detection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analyses.bugs import detect_bugs
+from repro.analyses.cartesian import CartesianClient
+from repro.analyses.constprop import propagate_constants
+from repro.analyses.patterns import classify_topology
+from repro.analyses.simple_symbolic import analyze_program
+from repro.lang import parse, programs
+from repro.runtime import DeadlockError, run_program
+
+
+def _load(target: str):
+    path = Path(target)
+    if path.exists():
+        return parse(path.read_text()), None
+    try:
+        spec = programs.get(target)
+    except KeyError:
+        raise SystemExit(
+            f"error: {target!r} is neither a file nor a corpus program "
+            f"(try --list)"
+        )
+    return spec.parse(), spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-sensitive static dataflow for MPL programs",
+    )
+    parser.add_argument("target", nargs="?", help="MPL file or corpus program name")
+    parser.add_argument("--list", action="store_true", help="list corpus programs")
+    parser.add_argument(
+        "--np", type=int, default=8, help="process count for validation runs"
+    )
+    parser.add_argument(
+        "--inputs", type=int, nargs="*", default=None,
+        help="values consumed by input() calls",
+    )
+    parser.add_argument(
+        "--constants", action="store_true", help="run constant propagation"
+    )
+    parser.add_argument("--bugs", action="store_true", help="run bug detection")
+    parser.add_argument(
+        "--no-validate", action="store_true", help="skip the concrete cross-check"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for spec in programs.all_specs():
+            print(f"{spec.name:26s} {spec.paper_ref:18s} {spec.pattern}")
+        return 0
+    if not args.target:
+        build_parser().print_help()
+        return 2
+
+    program, spec = _load(args.target)
+
+    if args.bugs:
+        report, result, _cfg = detect_bugs(program)
+        print(report.describe())
+        return 0 if report.is_clean() else 1
+
+    if args.constants:
+        report, result, cfg = propagate_constants(program)
+        for node_id in sorted(report.parallel):
+            print(
+                f"print at node {cfg.node(node_id).label}: "
+                f"parallel={report.parallel[node_id]} "
+                f"sequential={report.sequential[node_id]}"
+            )
+        return 0
+
+    client = CartesianClient()
+    result, cfg, client = analyze_program(program, client)
+    if result.gave_up:
+        print(f"analysis gave up (T): {result.give_up_reason}")
+        return 1
+    print("communication topology:")
+    print(result.topology.describe())
+    if not args.no_validate:
+        try:
+            report = classify_topology(
+                program, result, cfg, probe_np=args.np, inputs=args.inputs
+            )
+        except DeadlockError as deadlock:
+            print(f"validation run deadlocked: {deadlock}")
+            return 1
+        print(f"pattern: {report.pattern} ({report.confidence})")
+        if report.suggestion:
+            print(f"suggested rewrite: {report.suggestion}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The pCFG parallel dataflow framework — the paper's core contribution.
+
+A *parallel control-flow graph* (pCFG) node is a tuple of process sets, each
+mapped to the CFG node it currently executes (Section V).  Dataflow over the
+pCFG (Section VI, Fig. 4) propagates a state ``(dfState, pSets, matches)``
+along edges that represent process-set transitions, splits and merges, with
+send-receive matching connecting the states of different process sets.
+
+The engine here operationalizes Fig. 4:
+
+* it explores exactly one interleaving (legal by the execution model's
+  interleaving-obliviousness) and therefore only materializes the small
+  fraction of the conceptual pCFG it needs;
+* ``matchSendsRecvs``, process-set representation and the transfer function
+  are supplied by a *client analysis* (:class:`~repro.core.client.ClientAnalysis`);
+* when no exact match can be established while process sets are blocked on
+  communication, the analysis gives up with ``T`` (top), as the paper
+  requires for soundness;
+* re-visited pCFG nodes are widened so loops converge to their invariant
+  (the Fig. 5 ``{[0], [1..i], [i+1..np-1]}`` shape).
+
+Public API::
+
+    from repro.core import PCFGEngine
+    result = PCFGEngine(cfg, client).run()
+    result.matches          # {(send CFG node, recv CFG node), ...}
+    result.match_records    # symbolic sender/receiver process sets per match
+    result.gave_up          # True if the analysis hit T
+"""
+
+from repro.core.client import (
+    Alternatives,
+    BranchOutcome,
+    ClientAnalysis,
+    Decided,
+    MatchResult,
+    Split,
+)
+from repro.core.engine import AnalysisResult, EngineLimits, PCFGEngine
+from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
+from repro.core.topology import MatchRecord, StaticTopology
+
+__all__ = [
+    "PCFGEngine",
+    "AnalysisResult",
+    "EngineLimits",
+    "ClientAnalysis",
+    "Decided",
+    "Split",
+    "Alternatives",
+    "BranchOutcome",
+    "MatchResult",
+    "MatchRecord",
+    "StaticTopology",
+    "ExploredPCFG",
+    "PCFGEdge",
+    "PCFGNodeKey",
+]

@@ -1,0 +1,203 @@
+"""Client-analysis interface for the pCFG framework.
+
+The paper's Fig. 4 leaves several operations to the *client analysis*
+(underlined in the dataflow formulas): the representation of dataflow state
+and process sets, the transfer function, send-receive matching, process-set
+splitting and renaming, and the union/widening operators.  This module
+defines the contract the engine expects.
+
+A client's analysis state is opaque to the engine except through these
+operations.  Process sets are addressed *positionally*: a state tracks
+``num_psets()`` sets, and the engine keeps a parallel tuple assigning each
+position its current CFG node.  When sets split, merge or die, the client
+returns a new state and the engine re-derives positions from the outcome
+objects below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang.cfg import CFGNode
+
+
+class ClientState:
+    """Marker base class for client analysis states (opaque to the engine)."""
+
+
+@dataclass
+class Decided:
+    """Branch outcome: the whole process set takes one side."""
+
+    label: bool
+    state: ClientState
+
+
+@dataclass
+class Split:
+    """Branch outcome: the set splits on a rank-dependent condition.
+
+    The pset at the branching position keeps the *true* subset; a new pset
+    (appended at position ``num_psets()-1`` of ``state``) holds the *false*
+    subset.  Either subset may be empty; the engine prunes empties via
+    :meth:`ClientAnalysis.is_empty`.
+    """
+
+    state: ClientState
+
+
+@dataclass
+class Alternatives:
+    """Branch outcome: undecidable data-dependent branch.
+
+    The engine explores each ``(label, state)`` as a separate pCFG
+    successor (a may-analysis over both paths).
+    """
+
+    outcomes: List[Tuple[bool, ClientState]]
+
+
+BranchOutcome = object  # Decided | Split | Alternatives
+
+
+@dataclass
+class MatchResult:
+    """A successful exact send-receive match.
+
+    ``state`` reflects the world after the match: psets possibly split
+    (matched subsets keep the original positions; residues appended in the
+    order ``sender residue, receiver residue``) and received values
+    propagated into the receiving set's namespace.
+
+    For a match against a *buffered* (in-flight) send, ``sender_pos`` is
+    None and ``pending_index`` names the consumed pending-send record.
+    """
+
+    state: ClientState
+    sender_pos: Optional[int]
+    recv_pos: int
+    send_node: int
+    recv_node: int
+    sender_desc: str
+    receiver_desc: str
+    sender_residue: Optional[int] = None
+    recv_residue: Optional[int] = None
+    pending_index: Optional[int] = None
+    mtype_send: str = "int"
+    mtype_recv: str = "int"
+
+
+class ClientAnalysis:
+    """The operations a client must provide (paper Fig. 4, underlined)."""
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def initial(self) -> ClientState:
+        """State with a single process set ``[0..np-1]`` (defaultState)."""
+        raise NotImplementedError
+
+    def num_psets(self, state: ClientState) -> int:
+        """Number of process sets tracked by the state."""
+        raise NotImplementedError
+
+    def describe_pset(self, state: ClientState, pos: int) -> str:
+        """Printable symbolic description of one process set."""
+        raise NotImplementedError
+
+    # -- dataflow --------------------------------------------------------------
+
+    def transfer(
+        self, state: ClientState, pos: int, node: CFGNode
+    ) -> Optional[ClientState]:
+        """Transfer function for a non-branch, non-communication node.
+
+        Returns None when the state becomes infeasible.
+        """
+        raise NotImplementedError
+
+    def branch(
+        self, state: ClientState, pos: int, node: CFGNode
+    ) -> BranchOutcome:
+        """Resolve a branch for the pset at ``pos``: Decided/Split/Alternatives."""
+        raise NotImplementedError
+
+    # -- communication -----------------------------------------------------------
+
+    def try_match(
+        self,
+        state: ClientState,
+        locs: Sequence[int],
+        blocked: Sequence[bool],
+        cfg,
+    ) -> List[MatchResult]:
+        """The paper's ``matchSendsRecvs``: find provable exact matches.
+
+        ``locs[pos]`` is the CFG node of each pset; ``blocked[pos]`` says
+        whether that pset is currently blocked on its node.  Must be *exact*:
+        return an empty list rather than an approximate match.
+
+        Normally returns at most one match (the engine re-runs matching at
+        the successor node).  When matching is ambiguous because a symbolic
+        comparison is unknown, the client may return several results whose
+        states carry the complementary assumptions — the engine explores
+        each as a separate pCFG successor (alternative worlds whose union
+        covers all executions).
+        """
+        raise NotImplementedError
+
+    def can_buffer(self, state: ClientState, pos: int, node: CFGNode) -> bool:
+        """May the pset at a send advance, leaving the send in flight?
+
+        Rendezvous-only clients return False; buffered clients enforce their
+        in-flight budget here (Section X's non-blocking extension).
+        """
+        return False
+
+    def buffer_send(
+        self, state: ClientState, pos: int, node: CFGNode
+    ) -> ClientState:
+        """Record an in-flight send for the pset at ``pos``."""
+        raise NotImplementedError
+
+    def pending_sites(self, state: ClientState) -> Tuple[int, ...]:
+        """Sorted CFG node ids of in-flight sends (part of pCFG identity)."""
+        return ()
+
+    # -- set structure --------------------------------------------------------------
+
+    def is_empty(self, state: ClientState, pos: int) -> Optional[bool]:
+        """Three-valued emptiness of a pset (True => engine deletes it)."""
+        raise NotImplementedError
+
+    def merge_psets(
+        self, state: ClientState, keep: int, drop: int
+    ) -> ClientState:
+        """Fold pset ``drop`` into pset ``keep`` (they reached the same node)."""
+        raise NotImplementedError
+
+    def remove_pset(self, state: ClientState, pos: int) -> ClientState:
+        """Delete an empty pset."""
+        raise NotImplementedError
+
+    def rename(self, state: ClientState, perm: Sequence[int]) -> ClientState:
+        """Reorder psets: new position ``i`` holds old position ``perm[i]``."""
+        raise NotImplementedError
+
+    # -- lattice -----------------------------------------------------------------
+
+    def join(
+        self, old: ClientState, new: ClientState
+    ) -> Optional[ClientState]:
+        """Union of states at a re-visited pCFG node (None: incompatible)."""
+        raise NotImplementedError
+
+    def widen(
+        self, old: ClientState, new: ClientState
+    ) -> Optional[ClientState]:
+        """Widening for convergence (None: bounds lost, engine goes to T)."""
+        raise NotImplementedError
+
+    def states_equal(self, left: ClientState, right: ClientState) -> bool:
+        """Fixed-point test."""
+        raise NotImplementedError

@@ -1,0 +1,385 @@
+"""The pCFG dataflow engine: Fig. 4's ``propagate``, operationalized.
+
+The engine maintains abstract *configurations*: a tuple of CFG locations
+(one per process set, positionally aligned with the client state's process
+sets) plus the client state.  Configuration identity — the pCFG node — is
+the sorted location tuple together with the multiset of in-flight send
+sites.  Each engine step consumes one configuration and produces its pCFG
+successors by, in priority order:
+
+1. an exact send-receive match (``matchSendsRecvs``),
+2. a CFG transition of one unblocked process set (transfer / branch,
+   including rank-dependent branch *splits*),
+3. buffering a send (the Section X non-blocking extension, when the client
+   allows it),
+4. termination, or the conservative ``T`` give-up when process sets are
+   blocked on communication that cannot be matched.
+
+Successor states are merged into previously-visited pCFG nodes via the
+client's ``join``; nodes revisited more than ``widen_after`` times are
+widened so loops converge to their invariant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import (
+    Alternatives,
+    ClientAnalysis,
+    ClientState,
+    Decided,
+    MatchResult,
+    Split,
+)
+from repro.core.errors import GiveUp
+from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
+from repro.core.topology import MatchRecord, StaticTopology
+from repro.lang.cfg import CFG, NodeKind
+
+
+@dataclass
+class EngineLimits:
+    """Safety and precision knobs."""
+
+    #: maximum engine steps before aborting (runaway guard)
+    max_steps: int = 20_000
+    #: joins at a pCFG node before switching to widening
+    widen_after: int = 2
+    #: maximum process sets per configuration (the paper's ``p``)
+    max_psets: int = 12
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the analysis established."""
+
+    topology: StaticTopology
+    gave_up: bool = False
+    give_up_reason: str = ""
+    #: configurations where every process set reached the CFG exit
+    final_states: List[ClientState] = field(default_factory=list)
+    #: configurations that were blocked but only by possibly-empty psets
+    vacuous_blocks: List[str] = field(default_factory=list)
+    explored: ExploredPCFG = field(default_factory=ExploredPCFG)
+    steps: int = 0
+    #: (CFG node id, process-set description) pairs blocked when giving up
+    blocked_at_giveup: List = field(default_factory=list)
+    #: states per pCFG node (for inspecting loop invariants etc.)
+    node_states: Dict[PCFGNodeKey, ClientState] = field(default_factory=dict)
+
+    @property
+    def matches(self):
+        """The (send CFG node, recv CFG node) match relation."""
+        return self.topology.node_edges()
+
+    @property
+    def match_records(self) -> List[MatchRecord]:
+        """Symbolic match records."""
+        return self.topology.records
+
+
+class PCFGEngine:
+    """Runs a client analysis over a program's pCFG."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        client: ClientAnalysis,
+        limits: Optional[EngineLimits] = None,
+    ):
+        self.cfg = cfg
+        self.client = client
+        self.limits = limits or EngineLimits()
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self) -> AnalysisResult:
+        """Explore to fixed point and return the analysis result."""
+        result = AnalysisResult(topology=StaticTopology())
+        client = self.client
+        try:
+            initial = client.initial()
+        except GiveUp as failure:
+            result.gave_up = True
+            result.give_up_reason = failure.reason
+            return result
+
+        states: Dict[PCFGNodeKey, ClientState] = {}
+        visits: Dict[PCFGNodeKey, int] = {}
+        worklist: deque = deque()
+        queued = set()
+
+        def enqueue(key: PCFGNodeKey) -> None:
+            if key not in queued:
+                worklist.append(key)
+                queued.add(key)
+
+        entry_key = self._canonicalize_into(
+            states, visits, None, [self.cfg.entry], initial, "entry", "", result
+        )
+        if entry_key is not None:
+            enqueue(entry_key)
+
+        while worklist:
+            if result.gave_up:
+                break
+            result.steps += 1
+            if result.steps > self.limits.max_steps:
+                result.gave_up = True
+                result.give_up_reason = (
+                    f"engine step limit {self.limits.max_steps} exceeded"
+                )
+                break
+            key = worklist.popleft()
+            queued.discard(key)
+            visits[key] = visits.get(key, 0) + 1
+            state = states[key]
+            try:
+                successors = self._step(key, state, result)
+            except GiveUp as failure:
+                result.gave_up = True
+                result.give_up_reason = failure.reason
+                result.blocked_at_giveup = failure.blocked
+                break
+            try:
+                for locs, succ_state, kind, detail in successors:
+                    succ_key = self._canonicalize_into(
+                        states, visits, key, locs, succ_state, kind, detail, result
+                    )
+                    if succ_key is not None:
+                        enqueue(succ_key)
+            except GiveUp as failure:
+                result.gave_up = True
+                result.give_up_reason = failure.reason
+                result.blocked_at_giveup = failure.blocked
+                break
+        result.node_states = states
+        return result
+
+    # -- one configuration -------------------------------------------------------
+
+    def _step(
+        self, key: PCFGNodeKey, state: ClientState, result: AnalysisResult
+    ) -> List[Tuple[List[int], ClientState, str, str]]:
+        locs = list(key[0])
+        client = self.client
+        blocked = [self._is_blocking(nid) for nid in locs]
+
+        # 1. send-receive matching (possibly several alternative worlds)
+        matches = client.try_match(state, locs, blocked, self.cfg)
+        if matches:
+            return [self._apply_match(locs, match, result) for match in matches]
+
+        # 2. advance one unblocked process set
+        for pos, node_id in enumerate(locs):
+            node = self.cfg.node(node_id)
+            if node.kind in (NodeKind.RECV, NodeKind.SEND, NodeKind.EXIT):
+                continue
+            if node.kind == NodeKind.BRANCH:
+                return self._apply_branch(locs, pos, node, state)
+            new_state = client.transfer(state, pos, node)
+            if new_state is None:
+                return []  # infeasible: path is dead
+            new_locs = list(locs)
+            new_locs[pos] = self._single_successor(node_id)
+            return [(new_locs, new_state, "transfer", node.describe())]
+
+        # 3. buffer a send (non-blocking extension)
+        for pos, node_id in enumerate(locs):
+            node = self.cfg.node(node_id)
+            if node.kind == NodeKind.SEND and client.can_buffer(state, pos, node):
+                new_state = client.buffer_send(state, pos, node)
+                new_locs = list(locs)
+                new_locs[pos] = self._single_successor(node_id)
+                return [(new_locs, new_state, "buffer", node.describe())]
+
+        # 4. everything is blocked
+        comm_blocked = [
+            pos
+            for pos, node_id in enumerate(locs)
+            if self.cfg.node(node_id).kind in (NodeKind.SEND, NodeKind.RECV)
+        ]
+        if not comm_blocked:
+            # all process sets at the CFG exit: a terminal pCFG node
+            result.final_states.append(state)
+            return []
+        # blocked on communication with no provable match: if every blocked
+        # set might be empty, the block may be vacuous — report, don't fail
+        verdicts = [self.client.is_empty(state, pos) for pos in comm_blocked]
+        if all(verdict is None for verdict in verdicts):
+            description = ", ".join(
+                f"{self.client.describe_pset(state, pos)} at "
+                f"{self.cfg.node(locs[pos]).describe()}"
+                for pos in comm_blocked
+            )
+            result.vacuous_blocks.append(description)
+            return []
+        blocked_info = [
+            (locs[pos], self.client.describe_pset(state, pos))
+            for pos in comm_blocked
+        ]
+        blocked_desc = "; ".join(
+            f"{desc} blocked at {self.cfg.node(node_id).describe()}"
+            for node_id, desc in blocked_info
+        )
+        raise GiveUp(
+            f"no provable send-receive match: {blocked_desc}", blocked=blocked_info
+        )
+
+    # -- transition helpers ----------------------------------------------------------
+
+    def _apply_match(
+        self, locs: List[int], match: MatchResult, result: AnalysisResult
+    ) -> Tuple[List[int], ClientState, str, str]:
+        client = self.client
+        new_count = client.num_psets(match.state)
+        new_locs = list(locs) + [0] * (new_count - len(locs))
+        if match.sender_pos is not None:
+            new_locs[match.sender_pos] = self._single_successor(match.send_node)
+        new_locs[match.recv_pos] = self._single_successor(match.recv_node)
+        if match.sender_residue is not None:
+            new_locs[match.sender_residue] = match.send_node
+        if match.recv_residue is not None:
+            new_locs[match.recv_residue] = match.recv_node
+        send_label = self.cfg.node(match.send_node).label
+        recv_label = self.cfg.node(match.recv_node).label
+        result.topology.add(
+            MatchRecord(
+                send_node=match.send_node,
+                recv_node=match.recv_node,
+                sender_desc=match.sender_desc,
+                receiver_desc=match.receiver_desc,
+                send_label=send_label,
+                recv_label=recv_label,
+                mtype_send=match.mtype_send,
+                mtype_recv=match.mtype_recv,
+            )
+        )
+        detail = f"{match.sender_desc} -> {match.receiver_desc}"
+        return (new_locs, match.state, "match", detail)
+
+    def _apply_branch(
+        self, locs: List[int], pos: int, node, state: ClientState
+    ) -> List[Tuple[List[int], ClientState, str, str]]:
+        outcome = self.client.branch(state, pos, node)
+        successors: List[Tuple[List[int], ClientState, str, str]] = []
+        if isinstance(outcome, Decided):
+            new_locs = list(locs)
+            new_locs[pos] = self._branch_target(node.node_id, outcome.label)
+            successors.append(
+                (new_locs, outcome.state, "branch", f"{node.cond}={outcome.label}")
+            )
+        elif isinstance(outcome, Split):
+            new_locs = list(locs)
+            new_locs[pos] = self._branch_target(node.node_id, True)
+            new_locs.append(self._branch_target(node.node_id, False))
+            if len(new_locs) > self.limits.max_psets:
+                raise GiveUp(
+                    f"process-set count exceeds p={self.limits.max_psets}"
+                )
+            successors.append((new_locs, outcome.state, "split", str(node.cond)))
+        elif isinstance(outcome, Alternatives):
+            for label, alt_state in outcome.outcomes:
+                new_locs = list(locs)
+                new_locs[pos] = self._branch_target(node.node_id, label)
+                successors.append(
+                    (new_locs, alt_state, "branch", f"{node.cond}={label}?")
+                )
+        else:
+            raise TypeError(f"unknown branch outcome {outcome!r}")
+        return successors
+
+    # -- canonicalization and state merging -----------------------------------------
+
+    def _canonicalize_into(
+        self,
+        states: Dict[PCFGNodeKey, ClientState],
+        visits: Dict[PCFGNodeKey, int],
+        src_key: Optional[PCFGNodeKey],
+        locs: Sequence[int],
+        state: ClientState,
+        kind: str,
+        detail: str,
+        result: AnalysisResult,
+    ) -> Optional[PCFGNodeKey]:
+        client = self.client
+        locs = list(locs)
+
+        # prune provably-empty process sets
+        pos = 0
+        while pos < len(locs):
+            if client.is_empty(state, pos) is True:
+                state = client.remove_pset(state, pos)
+                del locs[pos]
+            else:
+                pos += 1
+        if not locs:
+            return None
+
+        # merge process sets that reached the same CFG node
+        merged = True
+        while merged:
+            merged = False
+            for i in range(len(locs)):
+                for j in range(i + 1, len(locs)):
+                    if locs[i] == locs[j]:
+                        state = client.merge_psets(state, i, j)
+                        del locs[j]
+                        merged = True
+                        break
+                if merged:
+                    break
+
+        # canonical order: sort positions by CFG location (stable)
+        perm = sorted(range(len(locs)), key=lambda p: (locs[p], p))
+        if perm != list(range(len(locs))):
+            state = client.rename(state, perm)
+            locs = [locs[p] for p in perm]
+
+        key: PCFGNodeKey = (tuple(locs), client.pending_sites(state))
+        if src_key is not None:
+            result.explored.add_edge(PCFGEdge(src_key, key, kind, detail))
+        else:
+            result.explored.add_node(key)
+
+        if key not in states:
+            states[key] = state
+            return key
+        old = states[key]
+        combined = client.join(old, state)
+        if combined is None:
+            raise GiveUp(f"states at pCFG node {key} cannot be joined")
+        if visits.get(key, 0) >= self.limits.widen_after:
+            widened = client.widen(old, combined)
+            if widened is None:
+                raise GiveUp(f"widening lost process-set bounds at {key}")
+            combined = widened
+        if client.states_equal(old, combined):
+            return None  # fixed point at this node
+        states[key] = combined
+        return key
+
+    # -- CFG helpers --------------------------------------------------------------
+
+    def _is_blocking(self, node_id: int) -> bool:
+        kind = self.cfg.node(node_id).kind
+        return kind in (NodeKind.SEND, NodeKind.RECV, NodeKind.EXIT)
+
+    def _single_successor(self, node_id: int) -> int:
+        targets = [dst for dst, label in self.cfg.successors(node_id) if label is None]
+        if len(targets) != 1:
+            raise RuntimeError(
+                f"CFG node {node_id} has {len(targets)} unlabeled successors"
+            )
+        return targets[0]
+
+    def _branch_target(self, node_id: int, label: bool) -> int:
+        targets = [dst for dst, lbl in self.cfg.successors(node_id) if lbl is label]
+        if len(targets) != 1:
+            raise RuntimeError(
+                f"branch node {node_id} has {len(targets)} {label}-successors"
+            )
+        return targets[0]

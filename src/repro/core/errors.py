@@ -1,0 +1,21 @@
+"""Analysis-control exceptions."""
+
+from __future__ import annotations
+
+
+class GiveUp(Exception):
+    """Raised by a client analysis when it must fall to ``T`` (top).
+
+    Per Section VI, when the state representation or inference power of the
+    client cannot establish an exact send-receive match (or loses track of a
+    process-set bound), the only sound move is a conservative ``T``: the
+    engine stops refining and reports that the analysis gave up, with this
+    exception's message as the diagnostic.
+    """
+
+    def __init__(self, reason: str, blocked=None):
+        super().__init__(reason)
+        self.reason = reason
+        #: list of (CFG node id, process-set description) pairs blocked on
+        #: communication when the analysis gave up (bug-detector input)
+        self.blocked = list(blocked or [])

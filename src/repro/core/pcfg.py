@@ -1,0 +1,84 @@
+"""Explored-pCFG bookkeeping.
+
+The conceptual pCFG of Section V is enormous (every tuple of CFG locations
+over every partition of processes).  The engine only materializes the nodes
+it visits along its chosen interleaving; this module records that explored
+subgraph so it can be inspected, rendered and measured (node/edge counts are
+reported by the benchmarks as "fraction of the pCFG examined").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: a pCFG node key: the sorted tuple of occupied CFG locations plus the
+#: tuple of in-flight send sites (buffered mode); two abstract configurations
+#: with the same key are the same pCFG node and their states are joined
+PCFGNodeKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class PCFGEdge:
+    """One explored pCFG edge with its transition kind."""
+
+    src: PCFGNodeKey
+    dst: PCFGNodeKey
+    kind: str  # "transfer" | "branch" | "split" | "match" | "merge" | "buffer"
+    detail: str = ""
+
+
+@dataclass
+class ExploredPCFG:
+    """The visited fraction of the pCFG."""
+
+    nodes: Set[PCFGNodeKey] = field(default_factory=set)
+    edges: List[PCFGEdge] = field(default_factory=list)
+    entry: Optional[PCFGNodeKey] = None
+
+    def add_node(self, key: PCFGNodeKey) -> None:
+        """Register a visited node."""
+        if self.entry is None:
+            self.entry = key
+        self.nodes.add(key)
+
+    def add_edge(self, edge: PCFGEdge) -> None:
+        """Register a traversed edge."""
+        self.add_node(edge.src)
+        self.add_node(edge.dst)
+        self.edges.append(edge)
+
+    def node_count(self) -> int:
+        """Number of distinct visited pCFG nodes."""
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        """Number of traversed pCFG edges (with multiplicity of kinds)."""
+        return len(self.edges)
+
+    def to_dot(self, cfg=None) -> str:
+        """Graphviz rendering of the explored subgraph."""
+        def fmt(key: PCFGNodeKey) -> str:
+            locs, pending = key
+            if cfg is not None:
+                labels = ",".join(cfg.node(nid).label or str(nid) for nid in locs)
+            else:
+                labels = ",".join(str(nid) for nid in locs)
+            extra = f" |{len(pending)} in flight|" if pending else ""
+            return f"<{labels}{extra}>"
+
+        ids: Dict[PCFGNodeKey, int] = {key: i for i, key in enumerate(sorted(self.nodes))}
+        lines = ["digraph pcfg {"]
+        for key, node_id in ids.items():
+            lines.append(f'  n{node_id} [label="{fmt(key)}"];')
+        seen = set()
+        for edge in self.edges:
+            signature = (edge.src, edge.dst, edge.kind)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            lines.append(
+                f'  n{ids[edge.src]} -> n{ids[edge.dst]} [label="{edge.kind}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Static communication topology: the output of the pCFG analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One symbolic send-receive match.
+
+    ``sender_desc`` / ``receiver_desc`` are printable symbolic process-set
+    descriptions (e.g. ``[1..np - 1]``), recorded at match time so the
+    detected topology can be reported in the paper's notation.
+    """
+
+    send_node: int
+    recv_node: int
+    sender_desc: str
+    receiver_desc: str
+    send_label: str = ""
+    recv_label: str = ""
+    mtype_send: str = "int"
+    mtype_recv: str = "int"
+
+    def __str__(self) -> str:
+        send = self.send_label or f"n{self.send_node}"
+        recv = self.recv_label or f"n{self.recv_node}"
+        return f"{send}:{self.sender_desc} -> {recv}:{self.receiver_desc}"
+
+
+@dataclass
+class StaticTopology:
+    """The set of statically established matches.
+
+    ``edges`` is the relation over CFG nodes; ``records`` keeps the symbolic
+    process-set annotations (one per distinct match event shape).
+    """
+
+    edges: Set[Tuple[int, int]] = field(default_factory=set)
+    records: List[MatchRecord] = field(default_factory=list)
+
+    def add(self, record: MatchRecord) -> None:
+        """Record a match."""
+        self.edges.add((record.send_node, record.recv_node))
+        if not any(
+            existing.send_node == record.send_node
+            and existing.recv_node == record.recv_node
+            and existing.sender_desc == record.sender_desc
+            and existing.receiver_desc == record.receiver_desc
+            for existing in self.records
+        ):
+            self.records.append(record)
+
+    def node_edges(self) -> FrozenSet[Tuple[int, int]]:
+        """The (send CFG node, recv CFG node) relation."""
+        return frozenset(self.edges)
+
+    def describe(self) -> str:
+        """Multi-line human-readable topology."""
+        if not self.records:
+            return "(no communication)"
+        return "\n".join(str(record) for record in self.records)

@@ -1,0 +1,34 @@
+"""Classical (sequential) dataflow over CFGs.
+
+This is the substrate the paper generalizes: a lattice-based worklist solver
+over a single process' control-flow graph.  It serves three purposes here:
+
+1. A baseline — what a traditional compiler sees *without* the pCFG
+   framework (e.g. sequential constant propagation cannot prove Fig. 2's
+   prints emit 5, because the value flows through a receive).
+2. Reusable machinery (lattice protocol, worklist order) for the parallel
+   framework.
+3. Intra-process components of client analyses.
+"""
+
+from repro.dataflow.lattice import FlatConst, FlatLattice, Lattice, SetLattice
+from repro.dataflow.solver import DataflowProblem, solve_forward
+from repro.dataflow.analyses import (
+    ConstantPropagation,
+    LiveVariables,
+    ReachingDefinitions,
+    sequential_constants,
+)
+
+__all__ = [
+    "Lattice",
+    "FlatLattice",
+    "FlatConst",
+    "SetLattice",
+    "DataflowProblem",
+    "solve_forward",
+    "ConstantPropagation",
+    "ReachingDefinitions",
+    "LiveVariables",
+    "sequential_constants",
+]

@@ -1,0 +1,93 @@
+"""Lattice protocol and common lattices for dataflow analyses."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Generic, Hashable, Optional, TypeVar, Union
+
+T = TypeVar("T")
+
+
+class Lattice(Generic[T]):
+    """A join-semilattice with bottom, used by the worklist solver."""
+
+    def bottom(self) -> T:
+        """The least element (initial value of every node)."""
+        raise NotImplementedError
+
+    def join(self, left: T, right: T) -> T:
+        """Least upper bound."""
+        raise NotImplementedError
+
+    def leq(self, left: T, right: T) -> bool:
+        """Partial order test (``left`` under ``right``)."""
+        return self.join(left, right) == right
+
+    def widen(self, older: T, newer: T) -> T:
+        """Widening (defaults to join; override for infinite-height lattices)."""
+        return self.join(older, newer)
+
+
+class _Top:
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+class _Bottom:
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOT"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+FlatConst = Union[_Top, _Bottom, int]
+
+
+class FlatLattice(Lattice[FlatConst]):
+    """The flat constant lattice BOT <= k <= TOP for each integer k."""
+
+    def bottom(self) -> FlatConst:
+        return BOTTOM
+
+    def top(self) -> FlatConst:
+        """The greatest element."""
+        return TOP
+
+    def join(self, left: FlatConst, right: FlatConst) -> FlatConst:
+        if left is BOTTOM:
+            return right
+        if right is BOTTOM:
+            return left
+        if left is TOP or right is TOP:
+            return TOP
+        return left if left == right else TOP
+
+
+H = TypeVar("H", bound=Hashable)
+
+
+class SetLattice(Lattice[FrozenSet[H]]):
+    """Powerset lattice under union (reaching definitions, liveness)."""
+
+    def bottom(self) -> FrozenSet[H]:
+        return frozenset()
+
+    def join(self, left: FrozenSet[H], right: FrozenSet[H]) -> FrozenSet[H]:
+        return left | right
+
+    def leq(self, left: FrozenSet[H], right: FrozenSet[H]) -> bool:
+        return left <= right

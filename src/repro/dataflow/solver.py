@@ -1,0 +1,76 @@
+"""Worklist fixed-point solver over CFGs."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generic, Optional, TypeVar
+
+from repro.dataflow.lattice import Lattice
+from repro.lang.cfg import CFG, CFGNode
+
+T = TypeVar("T")
+
+
+class DataflowProblem(Generic[T]):
+    """A forward dataflow problem.
+
+    Subclasses supply the lattice, the entry state and the transfer
+    function.  Branch outcomes may refine the state per edge label via
+    :meth:`refine`.
+    """
+
+    def __init__(self, lattice: Lattice[T]):
+        self.lattice = lattice
+
+    def entry_state(self) -> T:
+        """State above the CFG entry node."""
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: T) -> T:
+        """State after executing ``node`` from ``state``."""
+        raise NotImplementedError
+
+    def refine(self, node: CFGNode, state: T, label: Optional[bool]) -> T:
+        """Optional per-branch refinement (defaults to no refinement)."""
+        return state
+
+    def widen_at(self, node: CFGNode) -> bool:
+        """Whether to widen at this node (defaults to loop-header-agnostic
+        widening everywhere, which is sound for any lattice)."""
+        return True
+
+
+def solve_forward(
+    cfg: CFG,
+    problem: DataflowProblem[T],
+    max_iterations: int = 100_000,
+) -> Dict[int, T]:
+    """Compute the forward fixed point; returns the state *above* each node."""
+    lattice = problem.lattice
+    state_in: Dict[int, T] = {nid: lattice.bottom() for nid in cfg.nodes}
+    state_in[cfg.entry] = problem.entry_state()
+    rpo = cfg.rpo_index()
+    worklist = deque(sorted(cfg.nodes, key=lambda nid: rpo.get(nid, len(rpo))))
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError("dataflow solver did not converge")
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        node = cfg.node(node_id)
+        out_state = problem.transfer(node, state_in[node_id])
+        for succ, label in cfg.successors(node_id):
+            edge_state = problem.refine(node, out_state, label)
+            joined = lattice.join(state_in[succ], edge_state)
+            if problem.widen_at(cfg.node(succ)):
+                joined = lattice.widen(state_in[succ], joined)
+            if not lattice.leq(joined, state_in[succ]) or not lattice.leq(
+                state_in[succ], joined
+            ):
+                state_in[succ] = joined
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return state_in

@@ -1,0 +1,20 @@
+"""Symbolic integer algebra used throughout the analysis.
+
+Two representations are provided:
+
+* :class:`~repro.expr.linear.LinearExpr` — affine expressions ``c0 + c1*v1 +
+  c2*v2 + ...`` over named integer variables.  These are the currency of the
+  simple symbolic client analysis (Section VII of the paper): process-set
+  bounds and ``var + c`` message expressions.
+
+* :class:`~repro.expr.poly.Poly` — multivariate polynomials with integer
+  coefficients.  Hierarchical Sequence Maps (Section VIII) need products such
+  as ``nrows * ncols`` for repetition counts and strides, plus divisibility
+  reasoning under program invariants like ``np = nrows * ncols``.
+"""
+
+from repro.expr.linear import LinearExpr
+from repro.expr.poly import Monomial, Poly
+from repro.expr.rewrite import InvariantSystem
+
+__all__ = ["LinearExpr", "Monomial", "Poly", "InvariantSystem"]

@@ -1,0 +1,28 @@
+"""Hierarchical Sequence Maps (Section VIII).
+
+An HSM ``[e : r, s]`` denotes the sequence made of ``r`` copies of the
+sequence ``e``, the ``i``-th copy shifted by ``i * s``.  Leaves are
+polynomials over process-uniform parameters (``nrows``, ``ncols``, ...), so
+repetition counts and strides may be symbolic; all symbolic reasoning is
+performed modulo an :class:`~repro.expr.rewrite.InvariantSystem` seeded from
+the program's ``assert`` statements (``np == nrows * ncols`` ...).
+
+The package provides:
+
+* :class:`~repro.hsm.hsm.HSM` — the structure, with the Table I operations
+  ``+``, scalar ``*``, ``/`` and ``%`` implemented as guarded rewrite rules;
+* :mod:`~repro.hsm.rules` — the sequence- and set-equality rules of Table I
+  (nest/flatten, interleave, level swap);
+* :class:`~repro.hsm.prover.HSMProver` — heuristically guided search that
+  proves sequence- and set-equality, powering the identity and surjection
+  conditions of send-receive matching (Section VIII-B);
+* :mod:`~repro.hsm.convert` — conversion of MPL message expressions over a
+  process set into a single HSM (the mechanical derivation of
+  Section VIII-A).
+"""
+
+from repro.hsm.convert import expr_to_hsm, pset_to_hsm
+from repro.hsm.hsm import HSM, HSMOps
+from repro.hsm.prover import HSMProver
+
+__all__ = ["HSM", "HSMOps", "HSMProver", "expr_to_hsm", "pset_to_hsm"]

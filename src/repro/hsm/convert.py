@@ -1,0 +1,110 @@
+"""Message expression -> HSM conversion (Section VIII-A).
+
+For an expression executed by a process set ``[l .. l+n-1]``, the variable
+``id`` becomes the HSM ``[l : n, 1]`` (process ``i`` maps to its rank) and
+process-uniform parameters become scalars.  The Table I operations then fold
+the expression into a single HSM describing, per process, the value of the
+expression — e.g. the destination rank of a send.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.expr.poly import Poly
+from repro.expr.rewrite import InvariantSystem
+from repro.hsm.hsm import HSM, Base, HSMOps
+from repro.lang.ast import BinOp, Expr, Num, UnaryOp, Var
+
+
+def pset_to_hsm(start: Poly, size: Poly) -> HSM:
+    """The HSM of ``id`` over the set ``[start .. start+size-1]``."""
+    return HSM.of(start, size, 1)
+
+
+def expr_to_hsm(
+    expr: Expr, domain: Base, inv: InvariantSystem
+) -> Optional[Base]:
+    """Evaluate an MPL expression with ``id`` bound to ``domain``.
+
+    Returns the resulting HSM, or None when some operation's side conditions
+    cannot be proven.  If the expression never mentions ``id`` the uniform
+    value is broadcast over the domain's length.
+    """
+    ops = HSMOps(inv)
+    result = _convert(expr, domain, ops)
+    if result is None:
+        return None
+    if isinstance(result, Poly):
+        # uniform value: every process computes the same thing
+        return HSM(result, ops.length(domain), Poly.const(0))
+    return ops.normalize(result)
+
+
+def _convert(expr: Expr, domain: Base, ops: HSMOps) -> Optional[Union[Base, Poly]]:
+    inv = ops.inv
+    if isinstance(expr, Num):
+        return Poly.const(expr.value)
+    if isinstance(expr, Var):
+        if expr.name == "id":
+            return domain
+        return inv.normalize(Poly.var(expr.name))
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _convert(expr.operand, domain, ops)
+        if inner is None:
+            return None
+        if isinstance(inner, Poly):
+            return -inner
+        return ops.mul_scalar(inner, Poly.const(-1))
+    if not isinstance(expr, BinOp):
+        return None
+    left = _convert(expr.left, domain, ops)
+    right = _convert(expr.right, domain, ops)
+    if left is None or right is None:
+        return None
+    left_scalar = isinstance(left, Poly)
+    right_scalar = isinstance(right, Poly)
+    if expr.op == "+":
+        if left_scalar and right_scalar:
+            return left + right
+        if left_scalar:
+            return ops.add_scalar(right, left)
+        if right_scalar:
+            return ops.add_scalar(left, right)
+        return ops.add(left, right)
+    if expr.op == "-":
+        if left_scalar and right_scalar:
+            return left - right
+        if right_scalar:
+            return ops.add_scalar(left, -right)
+        if left_scalar:
+            negated = ops.mul_scalar(right, Poly.const(-1))
+            return ops.add_scalar(negated, left)
+        negated = ops.mul_scalar(right, Poly.const(-1))
+        return ops.add(left, negated)
+    if expr.op == "*":
+        if left_scalar and right_scalar:
+            return left * right
+        if left_scalar:
+            return ops.mul_scalar(right, left)
+        if right_scalar:
+            return ops.mul_scalar(left, right)
+        return None  # HSM x HSM products are outside Table I
+    if expr.op == "/":
+        if not right_scalar:
+            return None
+        if left_scalar:
+            return inv.exact_div(left, right)
+        return ops.div(left, right)
+    if expr.op == "%":
+        if not right_scalar:
+            return None
+        if left_scalar:
+            if inv.exact_div(left, right) is not None:
+                return Poly.const(0)
+            lc, rc = left.as_constant(), right.as_constant()
+            if lc is not None and rc is not None and rc > 0:
+                return Poly.const(lc % rc)
+            return None
+        return ops.mod(left, right)
+    return None

@@ -1,0 +1,106 @@
+"""Table I sequence- and set-equality rewrite rules.
+
+Each rule takes a (normalized) HSM and yields zero or more rewritten HSMs
+that denote the same *sequence* (sequence rules) or the same *set of values*
+in a possibly different order (set rules).  The prover searches over these.
+
+Sequence rules (order-preserving):
+
+* nest/flatten:  ``[e : r*r', s]  =  [[e : r, s] : r', r*s]``  (both ways)
+
+Set rules (order-changing):
+
+* interleave:    ``[[e : r, r'*s] : r', s]  ~  [e : r*r', s]``
+* level swap:    ``[[e : r, s] : r', s']  ~  [[e : r', s'] : r, s]``
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.expr.poly import Poly
+from repro.expr.rewrite import InvariantSystem
+from repro.hsm.hsm import HSM, Base, HSMOps
+
+
+def _rebuild(h: Base, path: List[int], replacement: Base) -> Base:
+    """Replace the sub-HSM at ``path`` (list of 0s, descending into bases)."""
+    if not path:
+        return replacement
+    assert isinstance(h, HSM)
+    return HSM(_rebuild(h.base, path[1:], replacement), h.rep, h.stride)
+
+
+def _subnodes(h: Base, path=None) -> Iterator:
+    """All (path, node) pairs, outermost first."""
+    path = path or []
+    if isinstance(h, HSM):
+        yield (path, h)
+        yield from _subnodes(h.base, path + [0])
+
+
+def seq_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
+    """All single-step sequence-preserving rewrites of ``h``."""
+    inv = ops.inv
+    for path, node in _subnodes(h):
+        # flatten: [[e:r,s]:r', r*s] = [e : r*r', s]
+        if isinstance(node.base, HSM) and inv.equal(
+            node.stride, node.base.rep * node.base.stride
+        ):
+            flat = HSM(node.base.base, node.base.rep * node.rep, node.base.stride)
+            yield _rebuild(h, path, flat)
+        # nest: [e : r*r', s] = [[e : f, s] : r/f, f*s] for factor splits
+        for factor in _candidate_factors(node.rep, inv):
+            outer = inv.exact_div(node.rep, factor)
+            if outer is None or not inv.is_positive(outer):
+                continue
+            if inv.equal(factor, Poly.const(1)) or inv.equal(outer, Poly.const(1)):
+                continue
+            inner = HSM(node.base, factor, node.stride)
+            nested = HSM(inner, outer, inv.normalize(factor * node.stride))
+            yield _rebuild(h, path, nested)
+
+
+def set_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
+    """All single-step set-preserving (order-changing) rewrites of ``h``."""
+    inv = ops.inv
+    for path, node in _subnodes(h):
+        if not isinstance(node.base, HSM):
+            continue
+        inner = node.base
+        # interleave:  [[e : r, r'*s] : r', s]  ~  [e : r*r', s]
+        if inv.equal(inner.stride, node.rep * node.stride):
+            merged = HSM(inner.base, inner.rep * node.rep, node.stride)
+            yield _rebuild(h, path, merged)
+        # reverse interleave: [e : r*r', s] ~ [[e : r, r'*s] : r', s]
+        # (generated via the swap + flatten combination; omitted directly)
+        # level swap: [[e : r, s] : r', s'] ~ [[e : r', s'] : r, s]
+        swapped = HSM(
+            HSM(inner.base, node.rep, node.stride), inner.rep, inner.stride
+        )
+        yield _rebuild(h, path, swapped)
+
+
+def _candidate_factors(rep: Poly, inv: InvariantSystem) -> List[Poly]:
+    """Plausible splitting factors of a repetition count.
+
+    For symbolic reps we try each variable occurring in the (normalized)
+    polynomial, plus small constant factors for concrete reps — the
+    heuristic guidance the paper mentions for its rule search.
+    """
+    rep = inv.normalize(rep)
+    candidates: List[Poly] = []
+    for name in rep.variables():
+        candidates.append(Poly.var(name))
+        candidates.append(Poly.var(name) * Poly.var(name))
+    constant = rep.as_constant()
+    if constant is not None:
+        for k in range(2, min(constant, 13)):
+            if constant % k == 0:
+                candidates.append(Poly.const(k))
+    candidates.append(Poly.const(2))
+    unique = []
+    for cand in candidates:
+        if all(cand != seen for seen in unique):
+            unique.append(cand)
+    return unique

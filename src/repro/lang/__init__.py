@@ -1,0 +1,68 @@
+"""MPL — a Message-Passing Language matching the paper's execution model.
+
+MPL is the source language the analysis operates on.  It captures exactly the
+Section III execution model: an unbounded set of processes identified by
+``id`` in ``[0 .. np-1]``, exchanging values via blocking ``send``/``receive``
+operations whose communication partner is an arithmetic expression, with FIFO
+per-pair channels and no wildcard receives.
+
+Typical program::
+
+    if id == 0 then
+        for i = 1 to np - 1 do
+            send x -> i
+            receive y <- i
+        end
+    else
+        receive y <- 0
+        send y -> 0
+    end
+
+Public entry points:
+
+* :func:`parse` — source text to AST (:class:`repro.lang.ast.Program`).
+* :func:`build_cfg` — AST to control-flow graph (:class:`repro.lang.cfg.CFG`).
+* :mod:`repro.lang.programs` — the corpus of paper examples.
+"""
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    BinOp,
+    Compare,
+    If,
+    Num,
+    Print,
+    Program,
+    Recv,
+    Send,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+from repro.lang.cfg import CFG, CFGNode, NodeKind, build_cfg
+from repro.lang.parser import ParseError, parse
+
+__all__ = [
+    "parse",
+    "ParseError",
+    "build_cfg",
+    "CFG",
+    "CFGNode",
+    "NodeKind",
+    "Program",
+    "Stmt",
+    "Assign",
+    "If",
+    "While",
+    "Send",
+    "Recv",
+    "Print",
+    "Assert",
+    "Skip",
+    "Num",
+    "Var",
+    "BinOp",
+    "Compare",
+]

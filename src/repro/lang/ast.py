@@ -1,0 +1,312 @@
+"""Abstract syntax for MPL.
+
+Expressions are integer-valued (booleans are represented as 0/1, as in C).
+The two distinguished read-only variables are ``id`` (the executing process'
+rank) and ``np`` (the total process count); they are ordinary :class:`Var`
+nodes at the AST level and acquire their meaning in the interpreter and the
+analyses.
+
+Statements mirror the paper's pseudocode: assignment, ``if``/``while``/
+``for``, ``send value -> dest``, ``receive var <- src``, ``print``, ``assert``
+and ``skip``.  ``send``/``receive`` accept an optional message type tag
+(``send x -> 0 : float``) used by the MPI-CFG baseline and the type-mismatch
+bug detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all MPL expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct sub-expressions."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def free_vars(self) -> set:
+        """Names of all variables mentioned in the expression."""
+        return {node.name for node in self.walk() if isinstance(node, Var)}
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """Integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Variable reference (including ``id`` and ``np``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic or logical binary operation.
+
+    ``op`` is one of ``+ - * / %`` (``/`` is flooring integer division, as in
+    the paper's ``id/nrows``) or ``and`` / ``or`` on 0/1 values.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operation: ``-`` (negate) or ``not``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        if self.op == "not":
+            return f"(not {self.operand})"
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Comparison producing 0/1: ``== != < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def negated(self) -> "Compare":
+        """The comparison with opposite truth value."""
+        opposite = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+        return Compare(opposite[self.op], self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class InputExpr(Expr):
+    """Non-deterministic external input (``input()`` in source).
+
+    The execution model allows processes to read arbitrary input; the
+    analyses treat it as an unknown value.
+    """
+
+    def __str__(self) -> str:
+        return "input()"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of all MPL statements."""
+
+    def substatements(self) -> Tuple[List["Stmt"], ...]:
+        """Nested statement blocks (bodies of structured statements)."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Yield this statement and all nested statements, pre-order."""
+        yield self
+        for block in self.substatements():
+            for stmt in block:
+                yield from stmt.walk()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """No-op."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value``."""
+
+    target: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if cond then ... else ... end`` (else branch may be empty)."""
+
+    cond: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+
+    def substatements(self) -> Tuple[List[Stmt], ...]:
+        return (list(self.then_body), list(self.else_body))
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then ... end"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while cond do ... end``."""
+
+    cond: Expr
+    body: Tuple[Stmt, ...]
+
+    def substatements(self) -> Tuple[List[Stmt], ...]:
+        return (list(self.body),)
+
+    def __str__(self) -> str:
+        return f"while {self.cond} do ... end"
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var = start to stop do ... end`` — inclusive upper bound.
+
+    Desugared during CFG construction into ``var = start; while var <= stop``
+    with a ``var = var + 1`` increment, matching the paper's Fig. 5 loop.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: Tuple[Stmt, ...]
+
+    def substatements(self) -> Tuple[List[Stmt], ...]:
+        return (list(self.body),)
+
+    def __str__(self) -> str:
+        return f"for {self.var} = {self.start} to {self.stop} do ... end"
+
+
+@dataclass(frozen=True)
+class Send(Stmt):
+    """``send value -> dest [: mtype]`` — blocking send to process ``dest``."""
+
+    value: Expr
+    dest: Expr
+    mtype: str = "int"
+
+    def __str__(self) -> str:
+        suffix = f" : {self.mtype}" if self.mtype != "int" else ""
+        return f"send {self.value} -> {self.dest}{suffix}"
+
+
+@dataclass(frozen=True)
+class Recv(Stmt):
+    """``receive target <- src [: mtype]`` — blocking receive from ``src``."""
+
+    target: str
+    src: Expr
+    mtype: str = "int"
+
+    def __str__(self) -> str:
+        suffix = f" : {self.mtype}" if self.mtype != "int" else ""
+        return f"receive {self.target} <- {self.src}{suffix}"
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    """``print expr`` — observable output."""
+
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"print {self.value}"
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """``assert cond`` — a programmer-supplied invariant.
+
+    The analyses consume asserts as trusted facts (e.g. ``assert np ==
+    nrows * ncols`` seeds the Cartesian client's invariant system, exactly as
+    in the paper's Fig. 6 example); the interpreter checks them.
+    """
+
+    cond: Expr
+
+    def __str__(self) -> str:
+        return f"assert {self.cond}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole MPL program: the statement list every process executes."""
+
+    body: Tuple[Stmt, ...]
+    source: Optional[str] = field(default=None, compare=False)
+
+    def walk(self) -> Iterator[Stmt]:
+        """All statements in the program, pre-order."""
+        for stmt in self.body:
+            yield from stmt.walk()
+
+    def sends(self) -> List[Send]:
+        """Every send statement in the program."""
+        return [stmt for stmt in self.walk() if isinstance(stmt, Send)]
+
+    def recvs(self) -> List[Recv]:
+        """Every receive statement in the program."""
+        return [stmt for stmt in self.walk() if isinstance(stmt, Recv)]
+
+    def variables(self) -> set:
+        """All variable names assigned or read anywhere in the program."""
+        names = set()
+        for stmt in self.walk():
+            if isinstance(stmt, Assign):
+                names.add(stmt.target)
+                names.update(stmt.value.free_vars())
+            elif isinstance(stmt, (If, While)):
+                names.update(stmt.cond.free_vars())
+            elif isinstance(stmt, For):
+                names.add(stmt.var)
+                names.update(stmt.start.free_vars())
+                names.update(stmt.stop.free_vars())
+            elif isinstance(stmt, Send):
+                names.update(stmt.value.free_vars())
+                names.update(stmt.dest.free_vars())
+            elif isinstance(stmt, Recv):
+                names.add(stmt.target)
+                names.update(stmt.src.free_vars())
+            elif isinstance(stmt, (Print, Assert)):
+                expr = stmt.value if isinstance(stmt, Print) else stmt.cond
+                names.update(expr.free_vars())
+        return names

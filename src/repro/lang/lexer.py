@@ -1,0 +1,85 @@
+"""Tokenizer for MPL source text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "if",
+    "then",
+    "elif",
+    "else",
+    "end",
+    "while",
+    "do",
+    "for",
+    "to",
+    "send",
+    "receive",
+    "print",
+    "assert",
+    "skip",
+    "and",
+    "or",
+    "not",
+    "input",
+}
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+"),
+    ("ARROW", r"->"),
+    ("LARROW", r"<-"),
+    ("OP", r"==|!=|<=|>=|[+\-*/%<>=():,]"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position (1-based line)."""
+
+    kind: str
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split MPL source into a token list, dropping whitespace and comments.
+
+    Newlines are not significant (statements are delimited by keywords), so
+    they are discarded too; the line number is kept on each token for error
+    reporting.
+    """
+    return list(_iter_tokens(source))
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise LexError(f"line {line}: unexpected character {text!r}")
+        if kind == "NAME" and text in KEYWORDS:
+            kind = "KEYWORD"
+        yield Token(kind, text, line)

@@ -1,0 +1,334 @@
+"""Recursive-descent parser for MPL.
+
+Grammar (EBNF)::
+
+    program  := stmt*
+    stmt     := 'skip'
+              | NAME '=' expr
+              | 'if' expr 'then' stmt* ('elif' expr 'then' stmt*)*
+                    ('else' stmt*)? 'end'
+              | 'while' expr 'do' stmt* 'end'
+              | 'for' NAME '=' expr 'to' expr 'do' stmt* 'end'
+              | 'send' expr '->' expr (':' NAME)?
+              | 'receive' NAME '<-' expr (':' NAME)?
+              | 'print' expr
+              | 'assert' expr
+    expr     := or_expr
+    or_expr  := and_expr ('or' and_expr)*
+    and_expr := not_expr ('and' not_expr)*
+    not_expr := 'not' not_expr | cmp_expr
+    cmp_expr := add_expr (('=='|'!='|'<'|'<='|'>'|'>=') add_expr)?
+    add_expr := mul_expr (('+'|'-') mul_expr)*
+    mul_expr := unary (('*'|'/'|'%') unary)*
+    unary    := '-' unary | atom
+    atom     := NUMBER | NAME | 'input' '(' ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    BinOp,
+    Compare,
+    Expr,
+    For,
+    If,
+    InputExpr,
+    Num,
+    Print,
+    Program,
+    Recv,
+    Send,
+    Skip,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on malformed MPL source."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token is None:
+            wanted = text or kind
+            raise ParseError(f"unexpected end of input, expected {wanted!r}")
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"line {token.line}: expected {wanted!r}, found {token.text!r}"
+            )
+        return self._advance()
+
+    # -- statements --------------------------------------------------------
+
+    def parse_program(self, source: str) -> Program:
+        body = self._parse_block(stop_words=frozenset())
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+        return Program(tuple(body), source=source)
+
+    def _parse_block(self, stop_words: frozenset) -> List[Stmt]:
+        body: List[Stmt] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                if stop_words:
+                    raise ParseError("unexpected end of input inside block")
+                return body
+            if token.kind == "KEYWORD" and token.text in stop_words:
+                return body
+            body.append(self._parse_stmt())
+
+    def _parse_stmt(self) -> Stmt:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "KEYWORD":
+            handler = {
+                "skip": self._parse_skip,
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "for": self._parse_for,
+                "send": self._parse_send,
+                "receive": self._parse_recv,
+                "print": self._parse_print,
+                "assert": self._parse_assert,
+            }.get(token.text)
+            if handler is None:
+                raise ParseError(f"line {token.line}: unexpected keyword {token.text!r}")
+            return handler()
+        if token.kind == "NAME":
+            return self._parse_assign()
+        raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+
+    def _parse_skip(self) -> Stmt:
+        self._expect("KEYWORD", "skip")
+        return Skip()
+
+    def _parse_assign(self) -> Stmt:
+        name = self._expect("NAME").text
+        self._expect("OP", "=")
+        return Assign(name, self._parse_expr())
+
+    def _parse_if(self) -> Stmt:
+        self._expect("KEYWORD", "if")
+        cond = self._parse_expr()
+        self._expect("KEYWORD", "then")
+        then_body = self._parse_block(frozenset({"elif", "else", "end"}))
+        token = self._peek()
+        assert token is not None
+        if token.text == "elif":
+            self._advance()
+            # Re-parse the elif chain as a nested if in the else branch.
+            nested = self._parse_if_tail()
+            return If(cond, tuple(then_body), (nested,))
+        if token.text == "else":
+            self._advance()
+            else_body = self._parse_block(frozenset({"end"}))
+            self._expect("KEYWORD", "end")
+            return If(cond, tuple(then_body), tuple(else_body))
+        self._expect("KEYWORD", "end")
+        return If(cond, tuple(then_body))
+
+    def _parse_if_tail(self) -> Stmt:
+        """Parse the remainder of an ``elif`` chain (cond already consumed up
+        to the ``elif`` keyword); shares the final ``end`` with the chain."""
+        cond = self._parse_expr()
+        self._expect("KEYWORD", "then")
+        then_body = self._parse_block(frozenset({"elif", "else", "end"}))
+        token = self._peek()
+        assert token is not None
+        if token.text == "elif":
+            self._advance()
+            nested = self._parse_if_tail()
+            return If(cond, tuple(then_body), (nested,))
+        if token.text == "else":
+            self._advance()
+            else_body = self._parse_block(frozenset({"end"}))
+            self._expect("KEYWORD", "end")
+            return If(cond, tuple(then_body), tuple(else_body))
+        self._expect("KEYWORD", "end")
+        return If(cond, tuple(then_body))
+
+    def _parse_while(self) -> Stmt:
+        self._expect("KEYWORD", "while")
+        cond = self._parse_expr()
+        self._expect("KEYWORD", "do")
+        body = self._parse_block(frozenset({"end"}))
+        self._expect("KEYWORD", "end")
+        return While(cond, tuple(body))
+
+    def _parse_for(self) -> Stmt:
+        self._expect("KEYWORD", "for")
+        var = self._expect("NAME").text
+        self._expect("OP", "=")
+        start = self._parse_expr()
+        self._expect("KEYWORD", "to")
+        stop = self._parse_expr()
+        self._expect("KEYWORD", "do")
+        body = self._parse_block(frozenset({"end"}))
+        self._expect("KEYWORD", "end")
+        return For(var, start, stop, tuple(body))
+
+    def _parse_send(self) -> Stmt:
+        self._expect("KEYWORD", "send")
+        value = self._parse_expr()
+        self._expect("ARROW")
+        dest = self._parse_expr()
+        mtype = self._parse_mtype()
+        return Send(value, dest, mtype)
+
+    def _parse_recv(self) -> Stmt:
+        self._expect("KEYWORD", "receive")
+        target = self._expect("NAME").text
+        self._expect("LARROW")
+        src = self._parse_expr()
+        mtype = self._parse_mtype()
+        return Recv(target, src, mtype)
+
+    def _parse_mtype(self) -> str:
+        if self._at("OP", ":"):
+            self._advance()
+            return self._expect("NAME").text
+        return "int"
+
+    def _parse_print(self) -> Stmt:
+        self._expect("KEYWORD", "print")
+        return Print(self._parse_expr())
+
+    def _parse_assert(self) -> Stmt:
+        self._expect("KEYWORD", "assert")
+        return Assert(self._parse_expr())
+
+    # -- expressions (precedence climbing) ----------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._at("KEYWORD", "or"):
+            self._advance()
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._at("KEYWORD", "and"):
+            self._advance()
+            left = BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._at("KEYWORD", "not"):
+            self._advance()
+            return UnaryOp("not", self._parse_not())
+        return self._parse_cmp()
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_add()
+        token = self._peek()
+        if token is not None and token.kind == "OP" and token.text in (
+            "==",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            op = self._advance().text
+            return Compare(op, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while self._at("OP", "+") or self._at("OP", "-"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_mul())
+        return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_unary()
+        while self._at("OP", "*") or self._at("OP", "/") or self._at("OP", "%"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._at("OP", "-"):
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, Num):
+                return Num(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in expression")
+        if token.kind == "NUMBER":
+            self._advance()
+            return Num(int(token.text))
+        if token.kind == "KEYWORD" and token.text == "input":
+            self._advance()
+            self._expect("OP", "(")
+            self._expect("OP", ")")
+            return InputExpr()
+        if token.kind == "NAME":
+            self._advance()
+            return Var(token.text)
+        if token.kind == "OP" and token.text == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect("OP", ")")
+            return inner
+        raise ParseError(f"line {token.line}: unexpected {token.text!r} in expression")
+
+
+def parse(source: str) -> Program:
+    """Parse MPL source text into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program(source)
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single MPL expression (handy in tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._parse_expr()
+    leftover = parser._peek()
+    if leftover is not None:
+        raise ParseError(f"line {leftover.line}: trailing {leftover.text!r}")
+    return expr

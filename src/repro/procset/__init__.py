@@ -1,0 +1,17 @@
+"""Symbolic process-set abstraction.
+
+Section VII-B of the paper represents sets of processes as bounded ranges
+``[lb..ub]`` whose bounds are *sets of expressions* they are provably equal
+to (e.g. the bound ``1`` is also ``i`` when the state analysis knows
+``i == 1``).  Keeping the whole equivalence set is what makes loop widening
+work: after one iteration of the Fig. 5 loop the concrete bounds change, but
+the symbolic forms in terms of the loop counter are stable and survive the
+equivalence-set intersection.
+
+All order comparisons between bounds are delegated to an :class:`Order`
+oracle — in practice the client analysis' constraint graph.
+"""
+
+from repro.procset.interval import Bound, Order, ProcSet, SymRange
+
+__all__ = ["Bound", "SymRange", "ProcSet", "Order"]

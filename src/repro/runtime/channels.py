@@ -1,0 +1,83 @@
+"""FIFO per-pair message channels.
+
+The execution model posits one bi-directional FIFO channel per ordered
+process pair.  A message carries its payload value, its static send site (the
+CFG node id of the ``send``) and its declared message type, so traces can
+relate dynamic communication back to program points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message."""
+
+    src: int
+    dst: int
+    value: int
+    send_node: int
+    mtype: str
+    seq: int
+
+
+class ChannelNetwork:
+    """All channels of an ``np``-process machine.
+
+    Messages between each ordered pair ``(src, dst)`` are delivered in FIFO
+    order; messages between different pairs are independent, matching the
+    MPI-style non-overtaking guarantee the paper assumes.
+    """
+
+    def __init__(self, num_procs: int):
+        if num_procs <= 0:
+            raise ValueError("need at least one process")
+        self.num_procs = num_procs
+        self._queues: Dict[Tuple[int, int], Deque[Message]] = {}
+        self._seq = 0
+
+    def _queue(self, src: int, dst: int) -> Deque[Message]:
+        key = (src, dst)
+        if key not in self._queues:
+            self._queues[key] = deque()
+        return self._queues[key]
+
+    def send(self, src: int, dst: int, value: int, send_node: int, mtype: str) -> Message:
+        """Enqueue a message (non-blocking send)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        message = Message(src, dst, value, send_node, mtype, self._seq)
+        self._seq += 1
+        self._queue(src, dst).append(message)
+        return message
+
+    def poll(self, src: int, dst: int) -> Optional[Message]:
+        """The next message from ``src`` to ``dst`` without consuming it."""
+        queue = self._queue(src, dst)
+        return queue[0] if queue else None
+
+    def receive(self, src: int, dst: int) -> Optional[Message]:
+        """Dequeue the next message from ``src`` to ``dst`` (or None)."""
+        queue = self._queue(src, dst)
+        return queue.popleft() if queue else None
+
+    def in_flight(self) -> int:
+        """Total number of undelivered messages."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def undelivered(self) -> Tuple[Message, ...]:
+        """All undelivered messages (for message-leak ground truth)."""
+        leftovers = []
+        for queue in self._queues.values():
+            leftovers.extend(queue)
+        return tuple(sorted(leftovers, key=lambda m: m.seq))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_procs:
+            raise ValueError(
+                f"process rank {rank} out of range [0..{self.num_procs - 1}]"
+            )

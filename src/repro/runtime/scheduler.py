@@ -1,0 +1,83 @@
+"""Interleaving schedulers.
+
+A scheduler repeatedly picks which runnable process takes the next step.  The
+paper proves the execution model is *interleaving-oblivious* — observable
+behaviour is independent of this choice — and the test suite exercises that
+theorem by running every corpus program under all of these schedulers and
+comparing trace fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class Scheduler:
+    """Strategy interface: choose the next process to step."""
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        """Pick one rank from the non-empty list of runnable ranks."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore initial scheduler state (optional)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through ranks in increasing order."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        candidates = sorted(runnable)
+        for rank in candidates:
+            if rank > self._last:
+                self._last = rank
+                return rank
+        self._last = candidates[0]
+        return candidates[0]
+
+    def reset(self) -> None:
+        self._last = -1
+
+
+class ReverseScheduler(Scheduler):
+    """Always run the highest-ranked runnable process (adversarial order)."""
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        return max(runnable)
+
+
+class GreedyScheduler(Scheduler):
+    """Always run the lowest-ranked runnable process to completion bias."""
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        return min(runnable)
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random runnable process, seeded for reproducibility."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        return self._rng.choice(list(runnable))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+def standard_schedulers(random_seeds: Optional[List[int]] = None) -> List[Scheduler]:
+    """The scheduler battery used by obliviousness tests and benches."""
+    schedulers: List[Scheduler] = [
+        RoundRobinScheduler(),
+        ReverseScheduler(),
+        GreedyScheduler(),
+    ]
+    for seed in random_seeds if random_seeds is not None else [1, 2, 3]:
+        schedulers.append(RandomScheduler(seed))
+    return schedulers

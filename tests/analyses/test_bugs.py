@@ -1,0 +1,86 @@
+"""Static communication-bug detector tests."""
+
+import pytest
+
+from repro.analyses.bugs import detect_bugs
+from repro.lang import parse, programs
+from repro.lang.cfg import NodeKind
+from repro.runtime import run_program
+
+
+class TestMessageLeak:
+    def test_leak_detected(self):
+        report, result, cfg = detect_bugs(programs.get("message_leak"))
+        assert report.leaked_sends
+        assert not report.is_clean()
+
+    def test_leak_site_is_a_send(self):
+        report, _, cfg = detect_bugs(programs.get("message_leak"))
+        for node_id in report.leaked_sends:
+            assert cfg.node(node_id).kind == NodeKind.SEND
+
+    def test_leak_agrees_with_runtime(self):
+        report, _, cfg = detect_bugs(programs.get("message_leak"))
+        trace = run_program(programs.get("message_leak").parse(), 4, cfg=cfg)
+        assert trace.leaked  # ground truth confirms
+
+    def test_describe_mentions_leak(self):
+        report, _, _ = detect_bugs(programs.get("message_leak"))
+        assert "message leak" in report.describe()
+
+
+class TestStuckReceive:
+    def test_stuck_receive_detected(self):
+        report, _, cfg = detect_bugs(programs.get("stuck_receive"))
+        assert report.stuck_receives
+        for node_id in report.stuck_receives:
+            assert cfg.node(node_id).kind == NodeKind.RECV
+
+    def test_describe_mentions_block(self):
+        report, _, _ = detect_bugs(programs.get("stuck_receive"))
+        assert "block forever" in report.describe()
+
+
+class TestTypeMismatch:
+    def test_mismatch_detected_on_matched_pair(self):
+        report, _, _ = detect_bugs(programs.get("type_mismatch"))
+        assert len(report.type_mismatches) == 1
+        record = report.type_mismatches[0]
+        assert record.mtype_send == "float"
+        assert record.mtype_recv == "int"
+
+    def test_same_types_clean(self):
+        source = """
+            if id == 0 then
+                send 1 -> 1 : float
+            elif id == 1 then
+                receive y <- 0 : float
+            else
+                skip
+            end
+        """
+        report, _, _ = detect_bugs(parse(source))
+        assert not report.type_mismatches
+        assert report.is_clean()
+
+
+class TestPotentialFindings:
+    def test_ring_modular_flagged_as_potential(self):
+        report, _, _ = detect_bugs(programs.get("ring_modular"))
+        assert not report.is_clean()
+        assert report.potential_leaks or report.stuck_receives
+
+    def test_potential_separate_from_definite(self):
+        report, _, _ = detect_bugs(programs.get("ring_modular"))
+        assert not report.leaked_sends  # nothing provably leaked
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize(
+        "name",
+        ["pingpong", "exchange_with_root", "broadcast_fanout", "shift_right",
+         "sequential_only"],
+    )
+    def test_correct_programs_clean(self, name):
+        report, _, _ = detect_bugs(programs.get(name))
+        assert report.is_clean(), report.describe()

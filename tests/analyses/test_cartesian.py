@@ -1,0 +1,92 @@
+"""Section VIII client tests: NAS-CG transpose matching via HSMs."""
+
+import pytest
+
+from repro.analyses.cartesian import CartesianClient, analyze_cartesian
+from repro.lang import parse, programs
+from repro.runtime import run_program
+from tests.conftest import corpus_inputs
+
+
+class TestTransposes:
+    @pytest.mark.parametrize(
+        "name,num_procs",
+        [
+            ("transpose_square", 4),
+            ("transpose_square", 9),
+            ("transpose_square", 16),
+            ("transpose_rect", 8),
+            ("transpose_rect", 18),
+        ],
+    )
+    def test_static_matches_cover_dynamic(self, name, num_procs):
+        spec = programs.get(name)
+        result, cfg, _ = analyze_cartesian(spec)
+        assert not result.gave_up, result.give_up_reason
+        inputs = corpus_inputs(name, num_procs)
+        trace = run_program(spec.parse(), num_procs, inputs=inputs, cfg=cfg)
+        dynamic = set(trace.topology().node_edges)
+        assert dynamic <= set(result.matches)
+        assert set(result.matches) <= dynamic
+
+    def test_whole_set_match_record(self):
+        result, _, _ = analyze_cartesian(programs.get("transpose_square"))
+        (record,) = result.match_records
+        assert record.sender_desc == "[0..np - 1]"
+        assert record.receiver_desc == "[0..np - 1]"
+
+    def test_simple_client_cannot_match_transpose(self):
+        """The Section VII client lacks HSMs: the transpose must defeat it
+        (conservative give-up, no unsound match)."""
+        from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
+
+        result, _, _ = analyze_program(
+            programs.get("transpose_square"), SimpleSymbolicClient()
+        )
+        assert result.gave_up
+
+
+class TestInvariantCollection:
+    def test_asserts_seed_invariants(self):
+        client = CartesianClient()
+        result, _, client = analyze_cartesian(
+            programs.get("transpose_square"), client
+        )
+        subs = client.invariants.substitutions
+        assert "np" in subs
+        assert "ncols" in subs
+
+    def test_cartesian_handles_simple_corpus_too(self):
+        """The HSM client extends (not replaces) the affine client."""
+        for name in ["pingpong", "exchange_with_root", "shift_right"]:
+            client = CartesianClient()
+            result, cfg, _ = analyze_cartesian(programs.get(name), client)
+            assert not result.gave_up, (name, result.give_up_reason)
+            trace = run_program(programs.get(name).parse(), 8, cfg=cfg)
+            assert trace.topology().node_edges <= result.matches
+
+
+class TestRefusals:
+    def test_non_involution_refused(self):
+        """An exchange whose composition is not the identity must not match."""
+        source = """
+            nrows = input()
+            ncols = input()
+            assert np == ncols * nrows
+            assert ncols == nrows
+            send x -> (id + nrows) % np
+            receive y <- (id % nrows) * nrows + id / nrows
+        """
+        result, _, _ = analyze_cartesian(parse(source))
+        assert result.gave_up or not result.matches
+
+    def test_missing_invariant_refused(self):
+        """Without the grid asserts the HSM proofs cannot close."""
+        source = """
+            nrows = input()
+            x = id
+            send x -> (id % nrows) * nrows + id / nrows
+            receive y <- (id % nrows) * nrows + id / nrows
+        """
+        result, _, _ = analyze_cartesian(parse(source))
+        assert result.gave_up

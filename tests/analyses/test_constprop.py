@@ -1,0 +1,76 @@
+"""Parallel constant propagation tests (the Fig. 2 client)."""
+
+import pytest
+
+from repro.analyses.constprop import (
+    ConstantPropagationClient,
+    propagate_constants,
+)
+from repro.lang import parse, programs
+from repro.lang.cfg import NodeKind
+
+
+class TestFig2:
+    def test_both_prints_proven_five(self):
+        report, result, cfg = propagate_constants(programs.get("pingpong"))
+        assert not report.gave_up
+        assert set(report.parallel.values()) == {5}
+
+    def test_sequential_baseline_fails(self):
+        report, _, _ = propagate_constants(programs.get("pingpong"))
+        assert all(value is None for value in report.sequential.values())
+
+    def test_wins_counts_parallel_advantage(self):
+        report, _, _ = propagate_constants(programs.get("pingpong"))
+        assert report.wins() == 2
+
+
+class TestOtherPrograms:
+    def test_pipeline_values_not_constant(self):
+        """Pipeline increments per stage: the printed value depends on np,
+        so neither analysis proves a constant — and neither invents one."""
+        report, _, _ = propagate_constants(programs.get("pipeline_stages"))
+        for value in report.parallel.values():
+            assert value is None
+
+    def test_local_constants_still_found(self):
+        source = "x = 3 y = x + 4 print y"
+        report, _, _ = propagate_constants(parse(source))
+        assert list(report.parallel.values()) == [7]
+        assert list(report.sequential.values()) == [7]
+
+    def test_relayed_constant(self):
+        """A constant relayed through two hops stays known."""
+        source = """
+            if id == 0 then
+                x = 11
+                send x -> 1
+            elif id == 1 then
+                receive y <- 0
+                send y -> 2
+            elif id == 2 then
+                receive z <- 1
+                print z
+            else
+                skip
+            end
+        """
+        report, result, cfg = propagate_constants(parse(source))
+        assert not report.gave_up
+        assert list(report.parallel.values()) == [11]
+        assert list(report.sequential.values()) == [None]
+
+    def test_printed_constant_api(self):
+        client = ConstantPropagationClient()
+        report, result, cfg = propagate_constants(programs.get("pingpong"), client)
+        prints = [n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.PRINT]
+        for node_id in prints:
+            assert client.printed_constant(node_id) == 5
+
+    def test_unknown_print_is_none(self):
+        client = ConstantPropagationClient()
+        propagate_constants(parse("x = input() print x"), client)
+        assert all(
+            client.printed_constant(node) is None
+            for node in client.print_observations
+        )

@@ -1,0 +1,94 @@
+"""Pattern classification tests (the Fig. 1 collective-rewrite application)."""
+
+import pytest
+
+from repro.analyses.patterns import classify_edges, classify_topology
+from repro.analyses.simple_symbolic import analyze_program
+from repro.analyses.cartesian import analyze_cartesian
+from repro.lang import programs
+from tests.conftest import corpus_inputs
+
+
+class TestClassifyEdges:
+    def test_broadcast(self):
+        edges = {(0, k) for k in range(1, 6)}
+        assert classify_edges(edges, 6) == "broadcast"
+
+    def test_gather(self):
+        edges = {(k, 0) for k in range(1, 6)}
+        assert classify_edges(edges, 6) == "gather"
+
+    def test_exchange_with_root(self):
+        edges = {(0, k) for k in range(1, 6)} | {(k, 0) for k in range(1, 6)}
+        assert classify_edges(edges, 6) == "exchange-with-root"
+
+    def test_shift(self):
+        edges = {(k, k + 1) for k in range(5)}
+        assert classify_edges(edges, 6) == "shift"
+
+    def test_ring(self):
+        edges = {(k, (k + 1) % 6) for k in range(6)}
+        assert classify_edges(edges, 6) == "ring"
+
+    def test_nearest_neighbor(self):
+        edges = {(k, k + 1) for k in range(5)} | {(k + 1, k) for k in range(5)}
+        assert classify_edges(edges, 6) == "nearest-neighbor"
+
+    def test_pairwise(self):
+        assert classify_edges({(0, 1), (1, 0)}, 6) == "pairwise-exchange"
+
+    def test_transpose(self):
+        edges = {(i * 3 + j, j * 3 + i) for i in range(3) for j in range(3)}
+        assert classify_edges(edges, 9) == "transpose"
+
+    def test_none(self):
+        assert classify_edges(set(), 4) == "none"
+
+    def test_irregular(self):
+        assert classify_edges({(0, 3), (1, 3), (3, 2)}, 6) == "irregular"
+
+
+EXPECTED_PATTERNS = {
+    "pingpong": "pairwise-exchange",
+    "broadcast_fanout": "broadcast",
+    "gather_to_root": "gather",
+    "exchange_with_root": "exchange-with-root",
+    "shift_right": "shift",
+    "pipeline_stages": "shift",
+    "master_worker": "exchange-with-root",
+}
+
+
+class TestClassifyTopology:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PATTERNS))
+    def test_corpus_patterns(self, name):
+        spec = programs.get(name)
+        program = spec.parse()
+        result, cfg, _ = analyze_program(spec)
+        report = classify_topology(program, result, cfg, probe_np=8)
+        assert report.pattern == EXPECTED_PATTERNS[name]
+        assert report.confidence == "exact"
+
+    def test_mdcask_rewrite_suggestion(self):
+        """The Fig. 1 motivating rewrite: exchange-with-root -> Bcast+Gather."""
+        spec = programs.get("exchange_with_root")
+        result, cfg, _ = analyze_program(spec)
+        report = classify_topology(spec.parse(), result, cfg, probe_np=8)
+        assert "MPI_Bcast" in report.suggestion
+        assert "MPI_Gather" in report.suggestion
+
+    def test_transpose_pattern(self):
+        spec = programs.get("transpose_square")
+        result, cfg, _ = analyze_cartesian(spec)
+        report = classify_topology(
+            spec.parse(), result, cfg, probe_np=9, inputs=corpus_inputs("transpose_square", 9)
+        )
+        assert report.pattern == "transpose"
+        assert report.confidence == "exact"
+
+    def test_gave_up_is_heuristic(self):
+        spec = programs.get("ring_modular")
+        result, cfg, _ = analyze_program(spec)
+        report = classify_topology(spec.parse(), result, cfg, probe_np=8)
+        assert report.confidence == "heuristic"
+        assert report.pattern == "ring"

@@ -1,0 +1,180 @@
+"""End-to-end tests of the Section VII client over the whole corpus.
+
+The central soundness property: for every program the client is expected to
+handle, the statically established match relation must cover (and, for these
+deterministic programs, exactly equal) the interpreter's dynamic match
+relation at every probe process count.
+"""
+
+import pytest
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
+from repro.cgraph.namespaces import qualify
+from repro.core.errors import GiveUp
+from repro.lang import build_cfg, parse, programs
+from repro.lang.ast import Assign, Num
+from repro.lang.cfg import CFGNode, NodeKind
+from repro.runtime import run_program
+
+SIMPLE_CORPUS = [
+    "pingpong",
+    "broadcast_fanout",
+    "gather_to_root",
+    "scatter_from_root",
+    "exchange_with_root",
+    "shift_right",
+    "pipeline_stages",
+    "ring_shift_nowrap",
+    "master_worker",
+    "mdcask_full",
+    "neighbor_exchange_1d",
+    "sequential_only",
+]
+
+
+class TestCorpusConvergence:
+    @pytest.mark.parametrize("name", SIMPLE_CORPUS)
+    def test_analysis_converges(self, name):
+        result, _, _ = analyze_program(programs.get(name))
+        assert not result.gave_up, result.give_up_reason
+
+    @pytest.mark.parametrize("name", SIMPLE_CORPUS)
+    @pytest.mark.parametrize("num_procs", [4, 6, 9])
+    def test_static_equals_dynamic(self, name, num_procs):
+        result, cfg, _ = analyze_program(programs.get(name))
+        trace = run_program(programs.get(name).parse(), num_procs, cfg=cfg)
+        dynamic = set(trace.topology().node_edges)
+        assert dynamic <= set(result.matches), "unsound: dynamic edge missed"
+        assert set(result.matches) <= dynamic, "imprecise: spurious static edge"
+
+
+class TestAffineConversion:
+    def setup_method(self):
+        self.client = SimpleSymbolicClient()
+
+    def convert(self, source):
+        return self.client.affine(parse(f"x = {source}").body[0].value, 3)
+
+    def test_id_qualified(self):
+        expr = self.convert("id + 1")
+        assert expr.coeff(qualify(3, "id")) == 1
+        assert expr.constant == 1
+
+    def test_np_global(self):
+        expr = self.convert("np - 1")
+        assert expr.coeff("np") == 1
+
+    def test_scaling(self):
+        expr = self.convert("3 * i")
+        assert expr.coeff(qualify(3, "i")) == 3
+
+    def test_constant_folding_div(self):
+        assert self.convert("7 / 2").as_constant() == 3
+
+    def test_nonaffine_is_none(self):
+        assert self.convert("id % np") is None
+        assert self.convert("id * i") is None
+        assert self.convert("input()") is None
+
+
+class TestTransfer:
+    def test_assign_to_id_rejected(self):
+        client = SimpleSymbolicClient()
+        state = client.initial()
+        node = CFGNode(1, NodeKind.ASSIGN, Assign("id", Num(0)))
+        with pytest.raises(GiveUp):
+            client.transfer(state, 0, node)
+
+    def test_assign_to_np_rejected(self):
+        client = SimpleSymbolicClient()
+        state = client.initial()
+        node = CFGNode(1, NodeKind.ASSIGN, Assign("np", Num(0)))
+        with pytest.raises(GiveUp):
+            client.transfer(state, 0, node)
+
+    def test_print_observation_recorded(self):
+        client = SimpleSymbolicClient()
+        result, cfg, client = analyze_program(programs.get("pingpong"), client)
+        print_nodes = [
+            n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.PRINT
+        ]
+        for node_id in print_nodes:
+            assert node_id in client.print_observations
+
+
+class TestValuePropagation:
+    def test_value_crosses_match(self):
+        """The received variable is pinned to the sent constant."""
+        client = SimpleSymbolicClient()
+        result, cfg, client = analyze_program(programs.get("pingpong"), client)
+        values = set()
+        for node_id, observed in client.print_observations.items():
+            values |= observed
+        assert values == {5}
+
+    def test_broadcast_value_propagates(self):
+        source = """
+            x = 9
+            if id == 0 then
+                for i = 1 to np - 1 do
+                    send x -> i
+                end
+            else
+                receive y <- 0
+                print y
+            end
+        """
+        client = SimpleSymbolicClient()
+        result, cfg, client = analyze_program(parse(source), client)
+        assert not result.gave_up
+        print_node = next(
+            n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.PRINT
+        )
+        assert client.print_observations[print_node] == {9}
+
+
+class TestMinNp:
+    def test_min_np_configurable(self):
+        client = SimpleSymbolicClient(min_np=16)
+        state = client.initial()
+        from repro.expr.linear import LinearExpr
+
+        assert state.cg.entails_leq(LinearExpr.const(16), LinearExpr.var("np")) is True
+
+    def test_shift_needs_enough_processes(self):
+        """With only np >= 2 assumed, the three-role shift pattern cannot
+        be resolved exactly (role sets may be empty) — a give-up, never a
+        wrong match."""
+        client = SimpleSymbolicClient(min_np=2)
+        result, cfg, _ = analyze_program(programs.get("shift_right"), client)
+        if not result.gave_up:
+            trace = run_program(programs.get("shift_right").parse(), 8, cfg=cfg)
+            assert trace.topology().node_edges <= result.matches
+
+
+class TestBufferingModes:
+    def test_rendezvous_only_still_handles_exchange(self):
+        client = SimpleSymbolicClient(buffering=False)
+        result, cfg, _ = analyze_program(programs.get("exchange_with_root"), client)
+        assert not result.gave_up
+        trace = run_program(programs.get("exchange_with_root").parse(), 6, cfg=cfg)
+        assert trace.topology().node_edges <= result.matches
+
+    def test_rendezvous_only_handles_pingpong(self):
+        client = SimpleSymbolicClient(buffering=False)
+        result, _, _ = analyze_program(programs.get("pingpong"), client)
+        assert not result.gave_up
+
+    def test_pending_budget_respected(self):
+        client = SimpleSymbolicClient(max_pendings=1)
+        result, _, _ = analyze_program(programs.get("mdcask_full"), client)
+        # may or may not give up, but must never crash or mis-match
+        if not result.gave_up:
+            cfg = build_cfg(programs.get("mdcask_full").parse())
+
+
+class TestDescribe:
+    def test_pretty_strips_namespaces(self):
+        client = SimpleSymbolicClient()
+        state = client.initial()
+        assert client.describe_pset(state, 0) == "[0..np - 1]"

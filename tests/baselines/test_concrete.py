@@ -1,0 +1,43 @@
+"""Concrete enumerator baseline tests."""
+
+import pytest
+
+from repro.analyses.simple_symbolic import analyze_program
+from repro.baselines.concrete import concrete_matches, sweep
+from repro.lang import programs
+
+
+class TestConcrete:
+    def test_exact_edges(self):
+        program = programs.get("broadcast_fanout").parse()
+        result = concrete_matches(program, 5)
+        assert result.proc_edges == frozenset((0, k) for k in range(1, 5))
+
+    def test_cost_grows_with_np(self):
+        program = programs.get("exchange_with_root").parse()
+        small = concrete_matches(program, 4)
+        large = concrete_matches(program, 64)
+        assert large.total_steps > 4 * small.total_steps
+
+    def test_sweep(self):
+        program = programs.get("gather_to_root").parse()
+        results = sweep(program, [2, 4, 8])
+        assert [r.num_procs for r in results] == [2, 4, 8]
+        assert all(len(r.proc_edges) == r.num_procs - 1 for r in results)
+
+    def test_sweep_with_inputs(self):
+        program = programs.get("transpose_square").parse()
+        results = sweep(
+            program,
+            [4, 9],
+            inputs_for=lambda n: [int(n ** 0.5), int(n ** 0.5)],
+        )
+        assert all(len(r.proc_edges) == r.num_procs for r in results)
+
+    def test_agreement_with_static_analysis(self):
+        """Static (np-independent) matches equal concrete matches at any np."""
+        spec = programs.get("exchange_with_root")
+        result, cfg, _ = analyze_program(spec)
+        for num_procs in (4, 6, 10, 17):
+            concrete = concrete_matches(spec.parse(), num_procs, cfg=cfg)
+            assert set(concrete.node_edges) == set(result.matches)

@@ -1,0 +1,84 @@
+"""MPI-CFG baseline tests: soundness and (im)precision vs the pCFG analysis."""
+
+import pytest
+
+from repro.analyses.simple_symbolic import analyze_program
+from repro.baselines.concrete import concrete_matches
+from repro.baselines.mpi_cfg import build_mpi_cfg
+from repro.lang import parse, programs
+
+
+class TestSoundness:
+    @pytest.mark.parametrize(
+        "name",
+        ["pingpong", "exchange_with_root", "broadcast_fanout", "shift_right",
+         "mdcask_full"],
+    )
+    def test_covers_ground_truth(self, name):
+        program = programs.get(name).parse()
+        mpi = build_mpi_cfg(program)
+        truth = concrete_matches(program, 6, cfg=mpi.cfg)
+        assert set(truth.node_edges) <= mpi.comm_edges
+
+
+class TestPruning:
+    def test_type_mismatch_pruned(self):
+        program = programs.get("type_mismatch").parse()
+        mpi = build_mpi_cfg(program)
+        assert any(reason == "type-mismatch" for *_edge, reason in mpi.pruned)
+        assert mpi.comm_edges == set()
+
+    def test_constant_mismatch_pruned(self):
+        source = """
+            if id == 0 then
+                send 1 -> 1
+            elif id == 1 then
+                receive y <- 2
+            elif id == 2 then
+                send 2 -> 1
+                skip
+            else
+                skip
+            end
+        """
+        # the receive expects rank 2; the send from rank 0 cannot match it
+        program = parse(source)
+        mpi = build_mpi_cfg(program)
+        reasons = {reason for *_e, reason in mpi.pruned}
+        assert "constant-mismatch" in reasons
+
+    def test_symbolic_endpoints_kept(self):
+        program = programs.get("exchange_with_root").parse()
+        mpi = build_mpi_cfg(program)
+        # the loop-carried destination `i` is not constant: edges survive
+        assert mpi.edge_count() >= 2
+
+
+class TestPrecisionGap:
+    @pytest.mark.parametrize("name", ["exchange_with_root", "mdcask_full"])
+    def test_pcfg_strictly_more_precise(self, name):
+        """The headline comparison: MPI-CFG keeps spurious edges the pCFG
+        analysis eliminates."""
+        spec = programs.get(name)
+        program = spec.parse()
+        result, cfg, _ = analyze_program(spec)
+        assert not result.gave_up
+        mpi = build_mpi_cfg(program, cfg=cfg)
+        truth = concrete_matches(program, 8, cfg=cfg)
+        mpi_spurious = mpi.spurious_edges(truth.node_edges)
+        pcfg_spurious = set(result.matches) - set(truth.node_edges)
+        assert len(pcfg_spurious) == 0
+        assert len(mpi_spurious) > 0
+        assert set(result.matches) < mpi.comm_edges
+
+    @pytest.mark.parametrize(
+        "name", ["pingpong", "shift_right", "neighbor_exchange_1d"]
+    )
+    def test_pcfg_never_less_precise(self, name):
+        """Even where MPI-CFG has no spurious edges, pCFG matches a subset."""
+        spec = programs.get(name)
+        program = spec.parse()
+        result, cfg, _ = analyze_program(spec)
+        assert not result.gave_up
+        mpi = build_mpi_cfg(program, cfg=cfg)
+        assert set(result.matches) <= mpi.comm_edges

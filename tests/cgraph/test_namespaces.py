@@ -1,0 +1,54 @@
+"""Namespace helper tests."""
+
+from repro.cgraph.namespaces import (
+    GLOBALS,
+    drop_namespace,
+    is_in_namespace,
+    namespace_of,
+    namespace_vars,
+    qualify,
+    rename_namespace,
+    unqualify,
+)
+
+
+class TestQualification:
+    def test_qualify(self):
+        assert qualify(3, "x") == "ps3::x"
+
+    def test_globals_pass_through(self):
+        assert qualify(3, "np") == "np"
+        assert "np" in GLOBALS
+
+    def test_unqualify(self):
+        assert unqualify("ps3::x") == "x"
+        assert unqualify("np") == "np"
+
+    def test_namespace_of(self):
+        assert namespace_of("ps7::i") == "ps7"
+        assert namespace_of("np") == ""
+
+    def test_roundtrip(self):
+        name = qualify(12, "counter")
+        assert unqualify(name) == "counter"
+        assert is_in_namespace(name, 12)
+        assert not is_in_namespace(name, 1)
+
+
+class TestSetOperations:
+    def test_namespace_vars(self):
+        names = ["ps1::x", "ps2::x", "np", "ps1::y"]
+        assert namespace_vars(names, 1) == {"ps1::x", "ps1::y"}
+
+    def test_rename_namespace(self):
+        assert rename_namespace("ps1::x", 1, 9) == "ps9::x"
+        assert rename_namespace("ps2::x", 1, 9) == "ps2::x"
+
+    def test_drop_namespace(self):
+        names = ["ps1::x", "ps2::x", "np"]
+        assert drop_namespace(names, 1) == {"ps2::x", "np"}
+
+    def test_prefix_collision_avoided(self):
+        # ps1 must not match ps12
+        assert not is_in_namespace("ps12::x", 1)
+        assert is_in_namespace("ps12::x", 12)

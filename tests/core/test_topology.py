@@ -1,0 +1,45 @@
+"""StaticTopology / MatchRecord tests."""
+
+from repro.core.topology import MatchRecord, StaticTopology
+
+
+def record(send=1, recv=2, sdesc="[0..0]", rdesc="[1..1]", **kw):
+    return MatchRecord(send, recv, sdesc, rdesc, **kw)
+
+
+class TestStaticTopology:
+    def test_add_accumulates_edges(self):
+        topo = StaticTopology()
+        topo.add(record())
+        topo.add(record(send=3, recv=4))
+        assert topo.node_edges() == frozenset({(1, 2), (3, 4)})
+
+    def test_duplicate_records_deduped(self):
+        topo = StaticTopology()
+        topo.add(record())
+        topo.add(record())
+        assert len(topo.records) == 1
+
+    def test_same_edge_different_sets_kept(self):
+        topo = StaticTopology()
+        topo.add(record(sdesc="[0..0]"))
+        topo.add(record(sdesc="[1..1]"))
+        assert len(topo.records) == 2
+        assert len(topo.node_edges()) == 1
+
+    def test_describe_lists_records(self):
+        topo = StaticTopology()
+        topo.add(record(send_label="C", recv_label="F"))
+        text = topo.describe()
+        assert "C:[0..0] -> F:[1..1]" in text
+
+    def test_describe_empty(self):
+        assert StaticTopology().describe() == "(no communication)"
+
+    def test_record_str_without_labels(self):
+        assert str(record()) == "n1:[0..0] -> n2:[1..1]"
+
+    def test_mtype_defaults(self):
+        r = record()
+        assert r.mtype_send == "int"
+        assert r.mtype_recv == "int"

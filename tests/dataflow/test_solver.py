@@ -1,0 +1,83 @@
+"""Worklist solver and lattice tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow.lattice import BOTTOM, TOP, FlatLattice, SetLattice
+from repro.dataflow.solver import DataflowProblem, solve_forward
+from repro.lang import build_cfg, parse
+from repro.lang.cfg import CFGNode, NodeKind
+
+
+class TestFlatLattice:
+    def setup_method(self):
+        self.lattice = FlatLattice()
+
+    def test_bottom_identity(self):
+        assert self.lattice.join(BOTTOM, 5) == 5
+        assert self.lattice.join(5, BOTTOM) == 5
+
+    def test_top_absorbs(self):
+        assert self.lattice.join(TOP, 5) is TOP
+
+    def test_conflict_goes_top(self):
+        assert self.lattice.join(1, 2) is TOP
+
+    def test_same_value(self):
+        assert self.lattice.join(3, 3) == 3
+
+    @given(st.sampled_from([BOTTOM, TOP, 0, 1, 2]),
+           st.sampled_from([BOTTOM, TOP, 0, 1, 2]),
+           st.sampled_from([BOTTOM, TOP, 0, 1, 2]))
+    def test_associative(self, a, b, c):
+        lat = FlatLattice()
+        assert lat.join(lat.join(a, b), c) == lat.join(a, lat.join(b, c))
+
+
+class TestSetLattice:
+    def test_join_is_union(self):
+        lat = SetLattice()
+        assert lat.join(frozenset({1}), frozenset({2})) == frozenset({1, 2})
+
+    def test_leq_is_subset(self):
+        lat = SetLattice()
+        assert lat.leq(frozenset(), frozenset({1}))
+        assert not lat.leq(frozenset({2}), frozenset({1}))
+
+
+class _CollectNodes(DataflowProblem):
+    """Toy problem: collect the set of node ids seen on some path."""
+
+    def __init__(self):
+        super().__init__(SetLattice())
+
+    def entry_state(self):
+        return frozenset()
+
+    def transfer(self, node: CFGNode, state):
+        return state | {node.node_id}
+
+
+class TestSolver:
+    def test_reaches_fixpoint_on_loop(self):
+        cfg = build_cfg(parse("while x > 0 do x = x - 1 end print x"))
+        states = solve_forward(cfg, _CollectNodes())
+        # the exit node's in-state contains the loop body node
+        branch = next(
+            n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH
+        )
+        assert branch in states[cfg.exit]
+
+    def test_straightline_accumulates(self):
+        cfg = build_cfg(parse("x = 1 y = 2"))
+        states = solve_forward(cfg, _CollectNodes())
+        assert len(states[cfg.exit]) >= 3
+
+    def test_branch_joins_paths(self):
+        cfg = build_cfg(parse("if x == 0 then y = 1 else y = 2 end print y"))
+        states = solve_forward(cfg, _CollectNodes())
+        assigns = [
+            n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.ASSIGN
+        ]
+        for node_id in assigns:
+            assert node_id in states[cfg.exit]

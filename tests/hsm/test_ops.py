@@ -1,0 +1,211 @@
+"""HSM operation tests, validated against concrete enumeration.
+
+Includes the paper's own worked examples:
+
+* ``[12 : 15, 2] % 6  =  [[0 : 3, 2] : 5, 0]``  (modulus regrouping)
+* ``[20 : 6, 5] / 10  =  [[2 : 2, 0] : 3, 1]``  (division regrouping)
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.poly import Poly
+from repro.expr.rewrite import InvariantSystem
+from repro.hsm.hsm import HSM, HSMOps, enumerate_hsm
+
+
+@pytest.fixture
+def ops():
+    inv = InvariantSystem()
+    inv.assume_positive("nrows", "ncols", "np")
+    inv.add_equality("np", Poly.var("nrows") * Poly.var("ncols"))
+    return HSMOps(inv)
+
+
+def concrete(h, env=None):
+    return enumerate_hsm(h, env or {})
+
+
+class TestEnumeration:
+    def test_flat_sequence(self):
+        h = HSM.of(11, 4, 5)
+        assert concrete(h) == [11, 16, 21, 26]
+
+    def test_nested_sequence(self):
+        # paper: [[0 : 10, 1] : 3, 100]
+        h = HSM.of(HSM.of(0, 10, 1), 3, 100)
+        seq = concrete(h)
+        assert seq[:10] == list(range(10))
+        assert seq[10:20] == list(range(100, 110))
+        assert seq[20] == 200
+
+    def test_symbolic_enumeration(self):
+        h = HSM.of(0, Poly.var("nrows"), 1)
+        assert concrete(h, {"nrows": 3}) == [0, 1, 2]
+
+
+class TestNormalize:
+    def test_unit_level_stripped(self, ops):
+        h = HSM.of(HSM.of(2, 3, 1), 1, 99)
+        assert ops.normalize(h) == HSM.of(2, 3, 1)
+
+    def test_flatten(self, ops):
+        # [[2 : 3, 2] : 2, 6] == [2 : 6, 2]
+        h = HSM.of(HSM.of(2, 3, 2), 2, 6)
+        assert ops.normalize(h) == HSM.of(2, 6, 2)
+        assert concrete(h) == concrete(HSM.of(2, 6, 2))
+
+    def test_zero_stride_collapse(self, ops):
+        h = HSM.of(HSM.of(5, 2, 0), 3, 0)
+        normal = ops.normalize(h)
+        assert concrete(normal) == [5] * 6
+
+    def test_length(self, ops):
+        h = HSM.of(HSM.of(0, Poly.var("nrows"), 1), Poly.var("ncols"), 0)
+        assert ops.length(h) == ops.inv.normalize(Poly.var("np"))
+
+
+class TestMinMax:
+    def test_min_max_flat(self, ops):
+        h = HSM.of(3, 4, 5)
+        assert ops.min_element(h) == Poly.const(3)
+        assert ops.max_element(h) == Poly.const(18)
+
+    def test_max_symbolic(self, ops):
+        h = HSM.of(0, Poly.var("nrows"), 1)
+        assert ops.max_element(h) == Poly.var("nrows") - 1
+
+    def test_unknown_sign_stride(self, ops):
+        h = HSM.of(0, 3, Poly.var("mystery"))
+        assert ops.max_element(h) is None
+
+
+class TestAdd:
+    def test_add_same_shape(self, ops):
+        a = HSM.of(0, 4, 1)
+        b = HSM.of(10, 4, 2)
+        result = ops.add(a, b)
+        assert concrete(result) == [x + y for x, y in zip(concrete(a), concrete(b))]
+
+    def test_add_scalar(self, ops):
+        h = HSM.of(0, 3, 1)
+        assert concrete(ops.add_scalar(h, Poly.const(5))) == [5, 6, 7]
+
+    def test_add_requires_alignment(self, ops):
+        # [0:4,1] + [[0:2,0]:2,10]: profiles (4) vs (2,2) -> split needed
+        a = HSM.of(0, 4, 1)
+        b = HSM.of(HSM.of(0, 2, 0), 2, 10)
+        result = ops.add(a, b)
+        assert result is not None
+        assert concrete(result) == [x + y for x, y in zip(concrete(a), concrete(b))]
+
+    def test_add_symbolic_alignment(self, ops):
+        env = {"nrows": 3, "ncols": 3, "np": 9}
+        a = HSM.of(0, ops.inv.normalize(Poly.var("np")), 1)
+        b = HSM.of(HSM.of(0, Poly.var("nrows"), 0), Poly.var("ncols"), 7)
+        result = ops.add(a, b)
+        assert result is not None
+        assert concrete(result, env) == [
+            x + y for x, y in zip(concrete(a, env), concrete(b, env))
+        ]
+
+    def test_add_length_mismatch_fails(self, ops):
+        assert ops.add(HSM.of(0, 3, 1), HSM.of(0, 4, 1)) is None
+
+
+class TestMulScalar:
+    def test_scalar_multiplication(self, ops):
+        h = HSM.of(1, 3, 2)
+        assert concrete(ops.mul_scalar(h, Poly.const(10))) == [10, 30, 50]
+
+    def test_symbolic_scalar(self, ops):
+        h = HSM.of(0, 3, 1)
+        result = ops.mul_scalar(h, Poly.var("nrows"))
+        assert concrete(result, {"nrows": 4}) == [0, 4, 8]
+
+
+class TestDiv:
+    def test_paper_division_example(self, ops):
+        # [20, 25, 30, 35, 40, 45] / 10 = [2, 2, 3, 3, 4, 4]
+        h = HSM.of(20, 6, 5)
+        result = ops.div(h, Poly.const(10))
+        assert result is not None
+        assert concrete(result) == [2, 2, 3, 3, 4, 4]
+
+    def test_divisible_stride(self, ops):
+        h = HSM.of(0, 5, 10)
+        result = ops.div(h, Poly.const(10))
+        assert concrete(result) == [0, 1, 2, 3, 4]
+
+    def test_block_constant(self, ops):
+        h = HSM.of(0, 3, 1)
+        result = ops.div(h, Poly.const(5))
+        assert concrete(result) == [0, 0, 0]
+
+    def test_id_div_nrows(self, ops):
+        # [0 : np, 1] / nrows = [[0 : nrows, 0] : ncols, 1]
+        h = HSM.of(0, ops.inv.normalize(Poly.var("np")), 1)
+        result = ops.div(h, Poly.var("nrows"))
+        assert result is not None
+        env = {"nrows": 3, "ncols": 4, "np": 12}
+        assert concrete(result, env) == [i // 3 for i in range(12)]
+
+    def test_unprovable_returns_none(self, ops):
+        h = HSM.of(0, Poly.var("mystery"), 1)
+        assert ops.div(h, Poly.var("nrows")) is None
+
+    def test_div_by_one(self, ops):
+        h = HSM.of(3, 4, 2)
+        assert ops.div(h, Poly.const(1)) == h
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 12), st.integers(1, 6), st.integers(0, 6), st.integers(1, 8)
+    )
+    def test_div_sound_when_defined(self, start, rep, stride, q):
+        inv = InvariantSystem()
+        ops = HSMOps(inv)
+        h = HSM.of(start, rep, stride)
+        result = ops.div(h, Poly.const(q))
+        if result is not None:
+            assert concrete(result) == [v // q for v in concrete(h)]
+
+
+class TestMod:
+    def test_paper_modulus_example(self, ops):
+        # [12 : 15, 2] % 6 = <0,2,4> repeated 5 times
+        h = HSM.of(12, 15, 2)
+        result = ops.mod(h, Poly.const(6))
+        assert result is not None
+        assert concrete(result) == [0, 2, 4] * 5
+
+    def test_divisible_base(self, ops):
+        h = HSM.of(0, 4, 6)
+        assert concrete(ops.mod(h, Poly.const(6))) == [0, 0, 0, 0]
+
+    def test_contained(self, ops):
+        h = HSM.of(1, 3, 1)
+        assert concrete(ops.mod(h, Poly.const(10))) == [1, 2, 3]
+
+    def test_id_mod_nrows(self, ops):
+        h = HSM.of(0, ops.inv.normalize(Poly.var("np")), 1)
+        result = ops.mod(h, Poly.var("nrows"))
+        assert result is not None
+        env = {"nrows": 3, "ncols": 4, "np": 12}
+        assert concrete(result, env) == [i % 3 for i in range(12)]
+
+    def test_mod_by_one_is_zero(self, ops):
+        h = HSM.of(5, 3, 2)
+        assert concrete(ops.mod(h, Poly.const(1))) == [0, 0, 0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 12), st.integers(1, 6), st.integers(0, 6), st.integers(1, 8)
+    )
+    def test_mod_sound_when_defined(self, start, rep, stride, q):
+        inv = InvariantSystem()
+        ops = HSMOps(inv)
+        h = HSM.of(start, rep, stride)
+        result = ops.mod(h, Poly.const(q))
+        if result is not None:
+            assert concrete(result) == [v % q for v in concrete(h)]

@@ -1,0 +1,161 @@
+"""Prover tests: the Section VIII-B identity and surjection proofs."""
+
+import pytest
+
+from repro.expr.poly import Poly
+from repro.expr.rewrite import InvariantSystem
+from repro.hsm.convert import expr_to_hsm, pset_to_hsm
+from repro.hsm.hsm import HSM, enumerate_hsm
+from repro.hsm.prover import HSMProver
+from repro.lang.parser import parse_expr
+
+
+def square_setup():
+    inv = InvariantSystem()
+    inv.add_equality("ncols", Poly.var("nrows"))
+    inv.add_equality("np", Poly.var("nrows") * Poly.var("ncols"))
+    inv.assume_positive("nrows", "ncols", "np")
+    return inv, HSMProver(inv)
+
+
+def rect_setup():
+    inv = InvariantSystem()
+    inv.add_equality("ncols", 2 * Poly.var("nrows"))
+    inv.add_equality("np", Poly.var("nrows") * Poly.var("ncols"))
+    inv.assume_positive("nrows", "ncols", "np")
+    return inv, HSMProver(inv)
+
+
+SQUARE_EXPR = "(id % nrows) * nrows + id / nrows"
+RECT_EXPR = "2 * ((id / 2) % nrows) * nrows + (id / (2 * nrows)) * 2 + id % 2"
+
+
+class TestSeqEqual:
+    def test_identical(self):
+        _, prover = square_setup()
+        assert prover.seq_equal(HSM.of(0, 5, 1), HSM.of(0, 5, 1))
+
+    def test_flattenable(self):
+        _, prover = square_setup()
+        nested = HSM.of(HSM.of(0, 3, 1), 2, 3)
+        assert prover.seq_equal(nested, HSM.of(0, 6, 1))
+
+    def test_different_sequences(self):
+        _, prover = square_setup()
+        assert not prover.seq_equal(HSM.of(0, 5, 1), HSM.of(1, 5, 1))
+
+    def test_same_set_different_order_not_seq_equal(self):
+        _, prover = square_setup()
+        a = HSM.of(HSM.of(0, 2, 3), 3, 1)  # 0,3,1,4,2,5
+        b = HSM.of(0, 6, 1)
+        assert sorted(enumerate_hsm(a, {})) == enumerate_hsm(b, {})
+        assert not prover.seq_equal(a, b)
+
+
+class TestSetEqual:
+    def test_swap_needed(self):
+        _, prover = square_setup()
+        a = HSM.of(HSM.of(0, 2, 3), 3, 1)
+        b = HSM.of(0, 6, 1)
+        assert prover.set_equal(a, b)
+
+    def test_unequal_sets(self):
+        _, prover = square_setup()
+        assert not prover.set_equal(HSM.of(0, 4, 2), HSM.of(0, 4, 1))
+
+    def test_length_mismatch_fails_fast(self):
+        _, prover = square_setup()
+        assert not prover.is_surjection_onto(HSM.of(0, 4, 1), HSM.of(0, 5, 1))
+
+
+class TestSquareTranspose:
+    """Section VIII-B, ncols == nrows."""
+
+    def test_send_hsm_shape(self):
+        inv, _ = square_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(SQUARE_EXPR), domain, inv)
+        nrows = Poly.var("nrows")
+        assert h == HSM.of(HSM.of(0, nrows, nrows), nrows, 1)
+
+    def test_surjection(self):
+        inv, prover = square_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(SQUARE_EXPR), domain, inv)
+        assert prover.is_surjection_onto(h, domain)
+
+    def test_identity_composition(self):
+        inv, prover = square_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(SQUARE_EXPR), domain, inv)
+        composed = expr_to_hsm(parse_expr(SQUARE_EXPR), h, inv)
+        assert composed is not None
+        assert prover.is_identity_on(composed, domain)
+
+    @pytest.mark.parametrize("nrows", [2, 3, 4, 5])
+    def test_concrete_agreement(self, nrows):
+        inv, _ = square_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(SQUARE_EXPR), domain, inv)
+        env = inv.sample_environment({"nrows": nrows})
+        np_ = env["np"]
+        expected = [(i % nrows) * nrows + i // nrows for i in range(np_)]
+        assert enumerate_hsm(h, env) == expected
+
+
+class TestRectTranspose:
+    """Section VIII-B, ncols == 2 * nrows."""
+
+    def test_send_hsm_shape(self):
+        inv, _ = rect_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(RECT_EXPR), domain, inv)
+        nrows = Poly.var("nrows")
+        assert h == HSM.of(
+            HSM.of(HSM.of(0, 2, 1), nrows, 2 * nrows), nrows, 2
+        )
+
+    def test_surjection(self):
+        inv, prover = rect_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(RECT_EXPR), domain, inv)
+        assert prover.is_surjection_onto(h, domain)
+
+    def test_identity_composition(self):
+        inv, prover = rect_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(RECT_EXPR), domain, inv)
+        composed = expr_to_hsm(parse_expr(RECT_EXPR), h, inv)
+        assert composed is not None
+        assert prover.is_identity_on(composed, domain)
+
+    @pytest.mark.parametrize("nrows", [2, 3, 4])
+    def test_concrete_agreement(self, nrows):
+        inv, _ = rect_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        h = expr_to_hsm(parse_expr(RECT_EXPR), domain, inv)
+        env = inv.sample_environment({"nrows": nrows})
+        np_ = env["np"]
+        expected = [
+            2 * ((i // 2) % nrows) * nrows + (i // (2 * nrows)) * 2 + i % 2
+            for i in range(np_)
+        ]
+        assert enumerate_hsm(h, env) == expected
+
+
+class TestNegativeMatching:
+    def test_wrong_expression_rejected(self):
+        """An expression that is NOT an involution must fail the identity."""
+        inv, prover = square_setup()
+        domain = pset_to_hsm(Poly.const(0), inv.normalize(Poly.var("np")))
+        # a plain row-major renumbering, not a transpose
+        wrong = parse_expr("id / nrows + (id % nrows) * nrows + 1")
+        h = expr_to_hsm(wrong, domain, inv)
+        if h is not None:
+            composed = expr_to_hsm(wrong, h, inv)
+            assert composed is None or not prover.is_identity_on(composed, domain)
+
+    def test_prover_statistics_collected(self):
+        _, prover = square_setup()
+        prover.set_equal(HSM.of(0, 4, 1), HSM.of(0, 4, 1))
+        assert prover.explored_counts

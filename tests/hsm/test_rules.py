@@ -1,0 +1,98 @@
+"""Rewrite-rule soundness: every rewrite preserves sequence/set semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.poly import Poly
+from repro.expr.rewrite import InvariantSystem
+from repro.hsm.hsm import HSM, HSMOps, enumerate_hsm
+from repro.hsm.rules import seq_rewrites, set_rewrites
+
+
+def make_ops():
+    inv = InvariantSystem()
+    inv.assume_positive("nrows")
+    return HSMOps(inv)
+
+
+def concrete_hsms():
+    flat = st.builds(
+        HSM.of, st.integers(0, 6), st.integers(1, 8), st.integers(0, 5)
+    )
+    nested = st.builds(
+        HSM.of, flat, st.integers(1, 4), st.integers(0, 9)
+    )
+    return st.one_of(flat, nested)
+
+
+class TestSequenceRules:
+    def test_flatten_example(self):
+        # [[2 : 3, 2] : 2, 6] -> [2 : 6, 2]
+        ops = make_ops()
+        h = HSM.of(HSM.of(2, 3, 2), 2, 6)
+        rewrites = list(seq_rewrites(h, ops))
+        assert any(r == HSM.of(2, 6, 2) for r in rewrites)
+
+    def test_nest_example(self):
+        ops = make_ops()
+        h = HSM.of(2, 6, 2)
+        rewrites = list(seq_rewrites(h, ops))
+        assert any(
+            enumerate_hsm(r, {}) == enumerate_hsm(h, {}) and r != h
+            for r in rewrites
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(concrete_hsms())
+    def test_all_seq_rewrites_preserve_sequence(self, h):
+        ops = make_ops()
+        reference = enumerate_hsm(h, {})
+        for rewritten in seq_rewrites(h, ops):
+            assert enumerate_hsm(rewritten, {}) == reference
+
+
+class TestSetRules:
+    def test_interleave_example(self):
+        # [[2 : 3, 4] : 2, 2] = <2,6,10,4,8,12> ~ [2 : 6, 2]
+        ops = make_ops()
+        h = HSM.of(HSM.of(2, 3, 4), 2, 2)
+        rewrites = list(set_rewrites(h, ops))
+        assert any(r == HSM.of(2, 6, 2) for r in rewrites)
+
+    def test_swap_example(self):
+        # [[1 : 2, 1] : 3, 10] ~ [[1 : 3, 10] : 2, 1]
+        ops = make_ops()
+        h = HSM.of(HSM.of(1, 2, 1), 3, 10)
+        swapped = HSM.of(HSM.of(1, 3, 10), 2, 1)
+        assert any(r == swapped for r in set_rewrites(h, ops))
+        assert sorted(enumerate_hsm(h, {})) == sorted(enumerate_hsm(swapped, {}))
+
+    @settings(max_examples=60, deadline=None)
+    @given(concrete_hsms())
+    def test_all_set_rewrites_preserve_value_multiset(self, h):
+        ops = make_ops()
+        reference = sorted(enumerate_hsm(h, {}))
+        for rewritten in set_rewrites(h, ops):
+            assert sorted(enumerate_hsm(rewritten, {})) == reference
+
+
+class TestSymbolicRules:
+    def test_symbolic_flatten(self):
+        inv = InvariantSystem()
+        inv.assume_positive("nrows")
+        ops = HSMOps(inv)
+        nrows = Poly.var("nrows")
+        h = HSM.of(HSM.of(0, nrows, 1), nrows, nrows)
+        flat = ops.normalize(h)
+        assert flat == HSM.of(0, nrows * nrows, 1)
+
+    def test_symbolic_interleave(self):
+        inv = InvariantSystem()
+        inv.assume_positive("nrows")
+        ops = HSMOps(inv)
+        nrows = Poly.var("nrows")
+        # [[e : nrows, 2*nrows] : nrows, 2] ~ [e : nrows^2, 2]
+        h = HSM.of(HSM.of(0, nrows, 2 * nrows), nrows, 2)
+        rewrites = list(set_rewrites(h, ops))
+        target = HSM.of(0, nrows * nrows, 2)
+        assert any(ops.equal(r, target) for r in rewrites)

@@ -1,0 +1,122 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.lang import build_cfg, parse, programs
+from repro.lang.cfg import NodeKind
+
+
+def cfg_of(source: str):
+    return build_cfg(parse(source))
+
+
+class TestStructure:
+    def test_entry_and_exit_unique(self):
+        cfg = cfg_of("x = 1")
+        kinds = [n.kind for n in cfg.nodes.values()]
+        assert kinds.count(NodeKind.ENTRY) == 1
+        assert kinds.count(NodeKind.EXIT) == 1
+
+    def test_empty_program(self):
+        cfg = cfg_of("")
+        assert cfg.succ_ids(cfg.entry) == [cfg.exit]
+
+    def test_straightline_chain(self):
+        cfg = cfg_of("x = 1 y = 2 print y")
+        node = cfg.entry
+        visited = []
+        while node != cfg.exit:
+            (node,) = cfg.succ_ids(node)
+            visited.append(cfg.node(node).kind)
+        assert visited == [
+            NodeKind.ASSIGN,
+            NodeKind.ASSIGN,
+            NodeKind.PRINT,
+            NodeKind.EXIT,
+        ]
+
+    def test_branch_has_labeled_edges(self):
+        cfg = cfg_of("if x == 0 then skip else print x end")
+        branch = next(n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH)
+        labels = {label for _dst, label in cfg.successors(branch.node_id)}
+        assert labels == {True, False}
+
+    def test_if_without_else_false_edge_exists(self):
+        cfg = cfg_of("if x == 0 then skip end print x")
+        branch = next(n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH)
+        false_edges = [l for _d, l in cfg.successors(branch.node_id) if l is False]
+        assert len(false_edges) == 1
+
+    def test_while_back_edge(self):
+        cfg = cfg_of("while x > 0 do x = x - 1 end")
+        branch = next(n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH)
+        body = next(d for d, l in cfg.successors(branch.node_id) if l is True)
+        assert branch.node_id in cfg.succ_ids(body)
+
+    def test_for_desugars_to_init_and_while(self):
+        cfg = cfg_of("for i = 1 to 3 do skip end")
+        assigns = [n for n in cfg.nodes.values() if n.kind == NodeKind.ASSIGN]
+        # init (i = 1) and increment (i = i + 1)
+        assert len(assigns) == 2
+        branches = [n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH]
+        assert len(branches) == 1
+        assert "<=" in str(branches[0].cond)
+
+    def test_comm_nodes(self):
+        cfg = cfg_of("send x -> 1 receive y <- 0")
+        assert len(cfg.comm_nodes()) == 2
+        assert all(node.is_comm() for node in cfg.comm_nodes())
+
+
+class TestOrderingAndLabels:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of("if x == 0 then skip else skip end")
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+
+    def test_rpo_covers_reachable_nodes(self):
+        cfg = cfg_of("while x > 0 do x = x - 1 end print x")
+        assert set(cfg.reverse_postorder()) == set(cfg.nodes)
+
+    def test_letter_labels_assigned(self):
+        cfg = cfg_of("x = 1 y = 2")
+        labels = {n.label for n in cfg.nodes.values()}
+        assert "A" in labels
+        assert all(n.label for n in cfg.nodes.values())
+
+    def test_predecessors(self):
+        cfg = cfg_of("x = 1 y = 2")
+        second = [n for n in cfg.nodes.values() if n.kind == NodeKind.ASSIGN][1]
+        preds = cfg.predecessors(second.node_id)
+        assert len(preds) == 1
+
+
+class TestDotOutput:
+    def test_dot_contains_all_nodes(self):
+        cfg = cfg_of("if x == 0 then send x -> 1 end")
+        dot = cfg.to_dot()
+        assert dot.startswith("digraph")
+        for node in cfg.nodes.values():
+            assert f"n{node.node_id}" in dot
+
+
+class TestCorpusCFGs:
+    @pytest.mark.parametrize("name", programs.names())
+    def test_every_corpus_program_builds(self, name):
+        cfg = build_cfg(programs.get(name).parse())
+        assert cfg.entry in cfg.nodes
+        assert cfg.exit in cfg.nodes
+        # every non-exit node has at least one successor
+        for node_id, node in cfg.nodes.items():
+            if node.kind != NodeKind.EXIT:
+                assert cfg.succ_ids(node_id), f"dangling node {node}"
+
+    @pytest.mark.parametrize("name", programs.names())
+    def test_branches_have_both_edges(self, name):
+        cfg = build_cfg(programs.get(name).parse())
+        for node in cfg.nodes.values():
+            if node.kind == NodeKind.BRANCH:
+                labels = sorted(
+                    l for _d, l in cfg.successors(node.node_id) if l is not None
+                )
+                assert labels == [False, True]

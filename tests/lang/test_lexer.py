@@ -1,0 +1,52 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+class TestTokenize:
+    def test_keywords_classified(self):
+        tokens = tokenize("if then else end")
+        assert all(t.kind == "KEYWORD" for t in tokens)
+
+    def test_identifier_vs_keyword(self):
+        tokens = tokenize("iffy if")
+        assert tokens[0].kind == "NAME"
+        assert tokens[1].kind == "KEYWORD"
+
+    def test_numbers(self):
+        (token,) = tokenize("42")
+        assert token.kind == "NUMBER"
+        assert token.text == "42"
+
+    def test_arrows(self):
+        kinds = [t.kind for t in tokenize("-> <-")]
+        assert kinds == ["ARROW", "LARROW"]
+
+    def test_comparison_operators(self):
+        texts = [t.text for t in tokenize("== != <= >= < >")]
+        assert texts == ["==", "!=", "<=", ">=", "<", ">"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("x = 1 # a comment\ny = 2")
+        assert [t.text for t in tokens] == ["x", "=", "1", "y", "=", "2"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens] == [1, 2, 4]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+    def test_arrow_not_split_into_minus_gt(self):
+        tokens = tokenize("send x -> 1")
+        assert any(t.kind == "ARROW" for t in tokens)
+        assert all(t.text != "-" for t in tokens)
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n  ") == []

@@ -1,0 +1,195 @@
+"""Parser tests: statements, expressions, precedence and errors."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    BinOp,
+    Compare,
+    For,
+    If,
+    InputExpr,
+    Num,
+    Print,
+    Recv,
+    Send,
+    Skip,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.parser import ParseError, parse, parse_expr
+
+
+class TestStatements:
+    def test_assignment(self):
+        program = parse("x = 1 + 2")
+        (stmt,) = program.body
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+
+    def test_skip(self):
+        assert isinstance(parse("skip").body[0], Skip)
+
+    def test_send_with_default_type(self):
+        (stmt,) = parse("send x -> id + 1").body
+        assert isinstance(stmt, Send)
+        assert stmt.mtype == "int"
+
+    def test_send_with_type(self):
+        (stmt,) = parse("send x -> 0 : float").body
+        assert stmt.mtype == "float"
+
+    def test_receive(self):
+        (stmt,) = parse("receive y <- id - 1").body
+        assert isinstance(stmt, Recv)
+        assert stmt.target == "y"
+
+    def test_receive_with_type(self):
+        (stmt,) = parse("receive y <- 0 : double").body
+        assert stmt.mtype == "double"
+
+    def test_print(self):
+        assert isinstance(parse("print x").body[0], Print)
+
+    def test_assert(self):
+        (stmt,) = parse("assert np == nrows * ncols").body
+        assert isinstance(stmt, Assert)
+
+    def test_if_without_else(self):
+        (stmt,) = parse("if x == 0 then skip end").body
+        assert isinstance(stmt, If)
+        assert stmt.else_body == ()
+
+    def test_if_with_else(self):
+        (stmt,) = parse("if x == 0 then skip else print x end").body
+        assert len(stmt.else_body) == 1
+
+    def test_elif_desugars_to_nested_if(self):
+        (stmt,) = parse(
+            "if id == 0 then skip elif id == 1 then print id else skip end"
+        ).body
+        assert isinstance(stmt, If)
+        (nested,) = stmt.else_body
+        assert isinstance(nested, If)
+        assert len(nested.else_body) == 1
+
+    def test_elif_chain(self):
+        source = """
+            if id == 0 then skip
+            elif id == 1 then skip
+            elif id == 2 then skip
+            else print id end
+        """
+        (stmt,) = parse(source).body
+        inner = stmt.else_body[0].else_body[0]
+        assert isinstance(inner, If)
+
+    def test_while(self):
+        (stmt,) = parse("while x > 0 do x = x - 1 end").body
+        assert isinstance(stmt, While)
+        assert len(stmt.body) == 1
+
+    def test_for(self):
+        (stmt,) = parse("for i = 1 to np - 1 do skip end").body
+        assert isinstance(stmt, For)
+        assert stmt.var == "i"
+
+    def test_input(self):
+        (stmt,) = parse("n = input()").body
+        assert isinstance(stmt.value, InputExpr)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinOp)
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_integer_division_and_mod(self):
+        expr = parse_expr("id / nrows % ncols")
+        assert expr.op == "%"
+        assert expr.left.op == "/"
+
+    def test_comparison(self):
+        expr = parse_expr("id <= np - 1")
+        assert isinstance(expr, Compare)
+        assert expr.op == "<="
+
+    def test_boolean_precedence(self):
+        expr = parse_expr("a == 1 or b == 2 and c == 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expr("not x == 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "not"
+
+    def test_unary_minus_folds_literal(self):
+        assert parse_expr("-5") == Num(-5)
+
+    def test_unary_minus_on_var(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, UnaryOp)
+
+    def test_transpose_expression(self):
+        expr = parse_expr("(id % nrows) * nrows + id / nrows")
+        assert expr.op == "+"
+
+    def test_free_vars(self):
+        expr = parse_expr("id + offset * np")
+        assert expr.free_vars() == {"id", "offset", "np"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "if x then skip",  # missing end
+            "send x",  # missing arrow
+            "receive 5 <- 0",  # target must be a name
+            "x =",  # missing rhs
+            "while do end",  # missing condition
+            "for i = 1 do end",  # missing 'to'
+            "end",  # stray keyword
+            "x = (1 + 2",  # unbalanced paren
+            "input",  # input needs parens as expression... (statement position)
+        ],
+    )
+    def test_malformed(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_trailing_tokens_in_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 extra")
+
+
+class TestNegatedCompare:
+    @pytest.mark.parametrize(
+        "op,negated",
+        [("==", "!="), ("!=", "=="), ("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")],
+    )
+    def test_negation_table(self, op, negated):
+        compare = Compare(op, Var("a"), Var("b"))
+        assert compare.negated().op == negated
+
+
+class TestProgramQueries:
+    def test_sends_and_recvs(self):
+        program = parse(
+            "if id == 0 then send x -> 1 else receive y <- 0 end"
+        )
+        assert len(program.sends()) == 1
+        assert len(program.recvs()) == 1
+
+    def test_variables(self):
+        program = parse("x = 5 send x -> i receive y <- 0")
+        assert {"x", "i", "y"} <= program.variables()

@@ -1,0 +1,54 @@
+"""Corpus registry integrity tests."""
+
+import pytest
+
+from repro.lang import programs
+
+
+class TestRegistry:
+    def test_names_sorted_and_unique(self):
+        names = programs.names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        spec = programs.get("pingpong")
+        assert spec.name == "pingpong"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            programs.get("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            programs.register(programs.get("pingpong"))
+
+    def test_all_specs_parse(self):
+        for spec in programs.all_specs():
+            program = spec.parse()
+            assert program.body, spec.name
+
+    def test_by_client_partitions(self):
+        simple = {s.name for s in programs.by_client("simple")}
+        cartesian = {s.name for s in programs.by_client("cartesian")}
+        none = {s.name for s in programs.by_client("none")}
+        assert simple and cartesian and none
+        assert not (simple & cartesian)
+        assert {"transpose_square", "transpose_rect"} <= cartesian
+
+    def test_metadata_present(self):
+        for spec in programs.all_specs():
+            assert spec.description
+            assert spec.paper_ref
+            assert spec.pattern
+
+    def test_paper_examples_present(self):
+        names = set(programs.names())
+        assert {
+            "pingpong",  # Fig. 2
+            "exchange_with_root",  # Fig. 1 / Fig. 5
+            "transpose_square",  # Fig. 6
+            "transpose_rect",  # Fig. 6
+            "shift_right",  # Fig. 7
+            "broadcast_fanout",  # Sec. IX
+        } <= names

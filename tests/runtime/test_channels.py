@@ -1,0 +1,56 @@
+"""FIFO channel network tests."""
+
+import pytest
+
+from repro.runtime.channels import ChannelNetwork
+
+
+class TestChannelNetwork:
+    def test_fifo_per_pair(self):
+        net = ChannelNetwork(2)
+        net.send(0, 1, 10, send_node=1, mtype="int")
+        net.send(0, 1, 20, send_node=1, mtype="int")
+        assert net.receive(0, 1).value == 10
+        assert net.receive(0, 1).value == 20
+
+    def test_pairs_independent(self):
+        net = ChannelNetwork(3)
+        net.send(0, 2, 1, 0, "int")
+        net.send(1, 2, 2, 0, "int")
+        assert net.receive(1, 2).value == 2
+        assert net.receive(0, 2).value == 1
+
+    def test_poll_does_not_consume(self):
+        net = ChannelNetwork(2)
+        net.send(0, 1, 5, 0, "int")
+        assert net.poll(0, 1).value == 5
+        assert net.poll(0, 1).value == 5
+        assert net.in_flight() == 1
+
+    def test_receive_empty(self):
+        net = ChannelNetwork(2)
+        assert net.receive(0, 1) is None
+
+    def test_undelivered_ordered_by_seq(self):
+        net = ChannelNetwork(3)
+        net.send(0, 1, 1, 0, "int")
+        net.send(2, 1, 2, 0, "int")
+        leftovers = net.undelivered()
+        assert [m.value for m in leftovers] == [1, 2]
+
+    def test_rank_validation(self):
+        net = ChannelNetwork(2)
+        with pytest.raises(ValueError):
+            net.send(0, 2, 1, 0, "int")
+        with pytest.raises(ValueError):
+            net.send(-1, 0, 1, 0, "int")
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelNetwork(0)
+
+    def test_message_metadata(self):
+        net = ChannelNetwork(2)
+        message = net.send(0, 1, 9, send_node=42, mtype="float")
+        assert message.send_node == 42
+        assert message.mtype == "float"

@@ -1,0 +1,149 @@
+"""Interpreter tests: semantics and per-program concrete topologies."""
+
+import pytest
+
+from repro.lang import parse, programs
+from repro.runtime import DeadlockError, MPLAssertionError, run_program
+from tests.conftest import corpus_inputs
+
+
+class TestBasicSemantics:
+    def test_assignment_and_print(self):
+        trace = run_program(parse("x = 2 y = x * 3 print y"), 1)
+        assert trace.prints[0] == [6]
+
+    def test_id_and_np(self):
+        trace = run_program(parse("print id print np"), 3)
+        for rank in range(3):
+            assert trace.prints[rank] == [rank, 3]
+
+    def test_integer_division_floor(self):
+        trace = run_program(parse("print 7 / 2 print 7 % 2"), 1)
+        assert trace.prints[0] == [3, 1]
+
+    def test_while_loop(self):
+        trace = run_program(parse("s = 0 for i = 1 to 4 do s = s + i end print s"), 1)
+        assert trace.prints[0] == [10]
+
+    def test_elif_dispatch(self):
+        source = """
+            if id == 0 then print 100
+            elif id == 1 then print 200
+            else print 300 end
+        """
+        trace = run_program(parse(source), 3)
+        assert trace.prints == {0: [100], 1: [200], 2: [300]}
+
+    def test_input_values(self):
+        trace = run_program(parse("a = input() b = input() print a + b"), 2, inputs=[3, 4])
+        assert trace.prints[0] == [7]
+        assert trace.prints[1] == [7]
+
+    def test_assert_passes(self):
+        run_program(parse("assert np == 2"), 2)
+
+    def test_assert_failure(self):
+        with pytest.raises(MPLAssertionError):
+            run_program(parse("assert np == 3"), 2)
+
+    def test_uninitialized_read(self):
+        with pytest.raises(NameError):
+            run_program(parse("print q"), 1)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            run_program(parse("x = 0 print 1 / x"), 1)
+
+    def test_send_out_of_range(self):
+        with pytest.raises(ValueError):
+            run_program(parse("send 1 -> np"), 2)
+
+    def test_boolean_shortcircuit(self):
+        # 'or' must not evaluate the raising right side
+        trace = run_program(parse("x = 1 if x == 1 or 1 / 0 == 0 then print 1 end"), 1)
+        assert trace.prints[0] == [1]
+
+
+class TestCommunication:
+    def test_value_transferred(self):
+        source = """
+            if id == 0 then
+                x = 42
+                send x -> 1
+            else
+                receive y <- 0
+                print y
+            end
+        """
+        trace = run_program(parse(source), 2)
+        assert trace.prints[1] == [42]
+
+    def test_fifo_order(self):
+        source = """
+            if id == 0 then
+                send 1 -> 1
+                send 2 -> 1
+            else
+                receive a <- 0
+                receive b <- 0
+                print a
+                print b
+            end
+        """
+        trace = run_program(parse(source), 2)
+        assert trace.prints[1] == [1, 2]
+
+    def test_self_send(self):
+        trace = run_program(parse("send 9 -> id receive y <- id print y"), 1)
+        assert trace.prints[0] == [9]
+
+    def test_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            run_program(parse("receive y <- id"), 1)
+
+    def test_leak_recorded(self):
+        trace = run_program(programs.get("message_leak").parse(), 3)
+        assert trace.leaked == [(0, 1, 3)]
+
+    def test_type_mismatch_recorded(self):
+        trace = run_program(programs.get("type_mismatch").parse(), 3)
+        assert len(trace.type_mismatches()) == 1
+
+
+EXPECTED_TOPOLOGY = {
+    "pingpong": lambda n: {(0, 1), (1, 0)},
+    "broadcast_fanout": lambda n: {(0, k) for k in range(1, n)},
+    "gather_to_root": lambda n: {(k, 0) for k in range(1, n)},
+    "scatter_from_root": lambda n: {(0, k) for k in range(1, n)},
+    "exchange_with_root": lambda n: {(0, k) for k in range(1, n)}
+    | {(k, 0) for k in range(1, n)},
+    "shift_right": lambda n: {(k, k + 1) for k in range(n - 1)},
+    "pipeline_stages": lambda n: {(k, k + 1) for k in range(n - 1)},
+    "ring_shift_nowrap": lambda n: {(k, k + 1) for k in range(n - 1)},
+    "ring_modular": lambda n: {(k, (k + 1) % n) for k in range(n)},
+    "master_worker": lambda n: {(0, k) for k in range(1, n)}
+    | {(k, 0) for k in range(1, n)},
+    "neighbor_exchange_1d": lambda n: {(k, k + 1) for k in range(n - 1)}
+    | {(k + 1, k) for k in range(n - 1)},
+    "sequential_only": lambda n: set(),
+}
+
+
+class TestCorpusTopologies:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_TOPOLOGY))
+    @pytest.mark.parametrize("num_procs", [4, 7])
+    def test_concrete_topology(self, name, num_procs):
+        trace = run_program(programs.get(name).parse(), num_procs)
+        expected = EXPECTED_TOPOLOGY[name](num_procs)
+        assert set(trace.topology().proc_edges) == expected
+
+    @pytest.mark.parametrize(
+        "name,num_procs",
+        [("transpose_square", 9), ("transpose_square", 16), ("transpose_rect", 8)],
+    )
+    def test_transpose_is_involution(self, name, num_procs):
+        inputs = corpus_inputs(name, num_procs)
+        trace = run_program(programs.get(name).parse(), num_procs, inputs=inputs)
+        edges = set(trace.topology().proc_edges)
+        assert edges == {(dst, src) for src, dst in edges}
+        assert len(edges) == num_procs

@@ -1,0 +1,89 @@
+"""Interleaving-obliviousness tests (the paper's Appendix theorem, E10).
+
+Observable behaviour — prints, dynamic matches, leaked messages — must be
+identical for every legal interleaving of a deterministic MPL program.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import programs
+from repro.runtime import RandomScheduler, run_program
+from repro.runtime.scheduler import standard_schedulers
+from tests.conftest import corpus_inputs
+
+DETERMINISTIC_PROGRAMS = [
+    name
+    for name in programs.names()
+    if name not in ("stuck_receive",)  # deadlocks by design
+]
+
+
+class TestObliviousness:
+    @pytest.mark.parametrize("name", DETERMINISTIC_PROGRAMS)
+    def test_all_schedulers_agree(self, name):
+        spec = programs.get(name)
+        num_procs = {"transpose_square": 9, "transpose_rect": 8}.get(name, 8)
+        inputs = corpus_inputs(name, num_procs)
+        fingerprints = set()
+        for scheduler in standard_schedulers():
+            trace = run_program(
+                spec.parse(),
+                num_procs,
+                inputs=list(inputs) if inputs else None,
+                scheduler=scheduler,
+            )
+            fingerprints.add(trace.observable())
+        assert len(fingerprints) == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_seeds_agree_on_exchange(self, seed):
+        spec = programs.get("exchange_with_root")
+        reference = run_program(spec.parse(), 6).observable()
+        trace = run_program(spec.parse(), 6, scheduler=RandomScheduler(seed))
+        assert trace.observable() == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 9))
+    def test_random_seeds_agree_on_pipeline(self, seed, num_procs):
+        spec = programs.get("pipeline_stages")
+        reference = run_program(spec.parse(), num_procs).observable()
+        trace = run_program(spec.parse(), num_procs, scheduler=RandomScheduler(seed))
+        assert trace.observable() == reference
+
+
+class TestSchedulers:
+    def test_round_robin_cycles(self):
+        from repro.runtime.scheduler import RoundRobinScheduler
+
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.choose([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_blocked(self):
+        from repro.runtime.scheduler import RoundRobinScheduler
+
+        scheduler = RoundRobinScheduler()
+        assert scheduler.choose([1, 3]) == 1
+        assert scheduler.choose([1, 3]) == 3
+
+    def test_reverse_picks_max(self):
+        from repro.runtime.scheduler import ReverseScheduler
+
+        assert ReverseScheduler().choose([0, 5, 2]) == 5
+
+    def test_random_reproducible(self):
+        a = RandomScheduler(7)
+        b = RandomScheduler(7)
+        choices = list(range(10))
+        assert [a.choose(choices) for _ in range(20)] == [
+            b.choose(choices) for _ in range(20)
+        ]
+
+    def test_random_reset(self):
+        scheduler = RandomScheduler(3)
+        first = [scheduler.choose(range(5)) for _ in range(10)]
+        scheduler.reset()
+        second = [scheduler.choose(range(5)) for _ in range(10)]
+        assert first == second

@@ -1,0 +1,28 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        result, cfg, client = repro.analyze(repro.programs.get("pingpong"))
+        assert not result.gave_up
+        assert result.topology.describe()
+
+    def test_parse_and_run(self):
+        program = repro.parse("print id")
+        trace = repro.run_program(program, 2)
+        assert trace.prints == {0: [0], 1: [1]}
+
+    def test_cartesian_entry_point(self):
+        result, _, _ = repro.analyze_cartesian(
+            repro.programs.get("transpose_square")
+        )
+        assert not result.gave_up

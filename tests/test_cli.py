@@ -1,0 +1,56 @@
+"""CLI driver tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "exchange_with_root" in out
+
+    def test_analyze_corpus_program(self, capsys):
+        assert main(["exchange_with_root", "--np", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "exchange-with-root" in out
+        assert "MPI_Bcast" in out
+
+    def test_analyze_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.mpl"
+        source.write_text(
+            "if id == 0 then send 1 -> 1 elif id == 1 then receive y <- 0 "
+            "else skip end"
+        )
+        assert main([str(source), "--np", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "communication topology" in out
+
+    def test_bugs_flag(self, capsys):
+        assert main(["message_leak", "--bugs"]) == 1
+        assert "message leak" in capsys.readouterr().out
+
+    def test_bugs_clean(self, capsys):
+        assert main(["pingpong", "--bugs"]) == 0
+
+    def test_constants_flag(self, capsys):
+        assert main(["pingpong", "--constants"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel=5" in out
+
+    def test_gave_up_exit_code(self, capsys):
+        assert main(["ring_modular", "--no-validate"]) == 1
+        assert "gave up" in capsys.readouterr().out
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["no_such_program_xyz"])
+
+    def test_no_target_prints_help(self, capsys):
+        assert main([]) == 2
+
+    def test_transpose_with_inputs(self, capsys):
+        assert main(["transpose_square", "--np", "9", "--inputs", "3", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "transpose" in out
