@@ -8,7 +8,6 @@ interpreter at several process counts.
 
 from benchmarks.conftest import header
 from repro import analyze, programs, run_program
-from repro.analyses.simple_symbolic import SimpleSymbolicClient
 
 
 def test_fig5_exchange_with_root(benchmark, emit):

@@ -18,26 +18,34 @@ We reproduce the profile twice:
 """
 
 import time
+from pathlib import Path
 
 from benchmarks.conftest import header
 from repro import analyze, programs
 from repro.analyses.simple_symbolic import SimpleSymbolicClient
 from repro.cgraph.stats import ClosureStats
+from repro.obs import Profile, profile_program
 
 
-def _profiled_run(naive: bool) -> ClosureStats:
-    stats = ClosureStats()
-    client = SimpleSymbolicClient(stats=stats, naive_closure=naive)
-    start = time.perf_counter()
-    result, _, _ = analyze(programs.get("broadcast_fanout"), client)
-    stats.total_time = time.perf_counter() - start
+def _profiled_run(naive: bool) -> Profile:
+    """One profiled analysis of the fan-out broadcast, via the obs layer.
+
+    Returns the :class:`Profile` the ``repro profile`` CLI would produce;
+    its ClosureStats-compatible accessors keep the table code below intact.
+    """
+    profile, result = profile_program(programs.get("broadcast_fanout"), naive=naive)
     assert not result.gave_up
-    return stats
+    return profile
 
 
 def test_sec9_closure_profile(benchmark, emit):
     naive = _profiled_run(naive=True)
     optimized = benchmark(lambda: _profiled_run(naive=False))
+
+    # The CI artifact: the same JSON document `repro profile` writes.
+    out = Path("profile.json")
+    out.write_text(optimized.to_json())
+    assert Profile.from_json(out.read_text()).full_calls == optimized.full_calls
 
     rows = [header("E8 / Sec. IX — fan-out broadcast analysis profile")]
     rows.append(

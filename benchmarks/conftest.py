@@ -8,9 +8,20 @@ pytest-benchmark measurement of the underlying computation.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
+
+from repro.cgraph.stats import reset_global_stats
+from repro.obs import recorder as obs_recorder
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate benchmarks from each other's closure stats and recorder state."""
+    reset_global_stats()
+    obs_recorder.reset()
+    yield
+    reset_global_stats()
+    obs_recorder.reset()
 
 
 @pytest.fixture

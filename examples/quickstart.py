@@ -9,7 +9,7 @@ parse MPL source, build the CFG, run the pCFG dataflow analysis, inspect
 the detected topology, and cross-check against a concrete execution.
 """
 
-from repro import analyze, build_cfg, parse, run_program
+from repro import analyze, parse, run_program
 from repro.analyses.constprop import propagate_constants
 
 SOURCE = """

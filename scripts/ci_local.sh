@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Local dry-run of .github/workflows/ci.yml (for machines without `act`).
+#
+# Runs the same three jobs, in the same order, with the same commands:
+#   lint        -> ruff check src tests benchmarks examples   (skipped if
+#                  ruff is not installed; CI installs it from PyPI)
+#   test        -> PYTHONPATH=src python -m pytest -x -q      (one local
+#                  interpreter stands in for the 3.9-3.12 matrix)
+#   bench-smoke -> benchmark suite with timing disabled, then the Section IX
+#                  profile artifact via `python -m repro profile`.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+step() {
+  echo
+  echo "=== $1 ==="
+  shift
+  if "$@"; then
+    echo "--- ok"
+  else
+    echo "--- FAILED: $*"
+    failures=$((failures + 1))
+  fi
+}
+
+if python -m ruff --version >/dev/null 2>&1; then
+  step "lint" python -m ruff check src tests benchmarks examples
+else
+  echo "=== lint === SKIPPED (ruff not installed; CI installs it)"
+fi
+
+PYTHONPATH=src
+export PYTHONPATH
+
+step "test (python $(python -c 'import sys; print("%d.%d" % sys.version_info[:2])'))" \
+  python -m pytest -x -q
+step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
+step "bench-smoke: profile artifact" \
+  python -m repro profile exchange_with_root --json profile.json
+step "bench-smoke: artifact is valid JSON" \
+  python -c "import json; json.load(open('profile.json'))"
+
+echo
+if [ "$failures" -eq 0 ]; then
+  echo "ci_local: all jobs passed"
+else
+  echo "ci_local: $failures job step(s) failed"
+fi
+exit "$failures"

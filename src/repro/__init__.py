@@ -20,14 +20,14 @@ Quickstart::
     print(result.topology.describe())
 """
 
-from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program as analyze
+from repro.analyses.bugs import detect_bugs
 from repro.analyses.cartesian import CartesianClient, analyze_cartesian
 from repro.analyses.constprop import propagate_constants
-from repro.analyses.bugs import detect_bugs
 from repro.analyses.patterns import classify_topology
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.analyses.simple_symbolic import analyze_program as analyze
 from repro.core import AnalysisResult, PCFGEngine
-from repro.lang import build_cfg, parse
-from repro.lang import programs
+from repro.lang import build_cfg, parse, programs
 from repro.runtime import run_program
 
 __version__ = "1.0.0"

@@ -12,11 +12,11 @@
   the Fig. 1 collective-rewrite recommendation.
 """
 
-from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
+from repro.analyses.bugs import BugReport, detect_bugs
 from repro.analyses.cartesian import CartesianClient, analyze_cartesian
 from repro.analyses.constprop import ConstantPropagationClient, propagate_constants
-from repro.analyses.bugs import BugReport, detect_bugs
 from repro.analyses.patterns import PatternReport, classify_topology
+from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
 
 __all__ = [
     "SimpleSymbolicClient",

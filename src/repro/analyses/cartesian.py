@@ -14,7 +14,6 @@ paper's Fig. 6 example relies on the application's own assertions.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.simple_symbolic import (
@@ -24,10 +23,8 @@ from repro.analyses.simple_symbolic import (
     SymbolicState,
     _pretty,
 )
-from repro.cgraph.namespaces import GLOBALS, qualify, unqualify
+from repro.cgraph.namespaces import qualify
 from repro.core.client import MatchResult
-from repro.core.errors import GiveUp
-from repro.expr.linear import LinearExpr
 from repro.expr.poly import Poly
 from repro.expr.rewrite import InvariantSystem
 from repro.hsm.convert import expr_to_hsm, pset_to_hsm
@@ -145,7 +142,6 @@ class CartesianClient(SimpleSymbolicClient):
             recv_node = cfg.node(locs[r_pos])
             recv_stmt = recv_node.stmt
             assert isinstance(recv_stmt, Recv)
-            r_entry = state.psets[r_pos]
             # rendezvous sender psets
             for s_pos, nid in enumerate(locs):
                 send_node = cfg.node(nid)

@@ -17,10 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
-from repro.core.engine import AnalysisResult
 from repro.dataflow.analyses import sequential_constants
-from repro.dataflow.lattice import TOP
-from repro.lang.cfg import CFG, NodeKind, build_cfg
+from repro.lang.cfg import NodeKind
 
 
 class ConstantPropagationClient(SimpleSymbolicClient):
@@ -69,7 +67,6 @@ def propagate_constants(program_or_spec, client: Optional[ConstantPropagationCli
             continue
         report.parallel[node_id] = client.printed_constant(node_id)
         env = sequential.get(node_id, {})
-        expr_vars = node.stmt.value.free_vars()
         seq_value = None
         from repro.dataflow.analyses import eval_const
 

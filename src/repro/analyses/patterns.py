@@ -14,8 +14,8 @@ against the interpreter's ground-truth topology by the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.engine import AnalysisResult
 from repro.lang.ast import Program

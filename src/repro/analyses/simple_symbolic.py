@@ -28,10 +28,10 @@ resolves into the three Fig. 8 matches.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cgraph.constraint_graph import ZERO, ConstraintGraph
+from repro.cgraph.constraint_graph import ConstraintGraph
 from repro.cgraph.namespaces import GLOBALS, qualify
 from repro.cgraph.stats import ClosureStats
 from repro.core.client import (
@@ -59,6 +59,7 @@ from repro.lang.ast import (
     Var,
 )
 from repro.lang.cfg import CFGNode, NodeKind
+from repro.obs import recorder as obs
 from repro.procset.interval import Bound, ProcSet, SymRange
 
 _NS_PATTERN = re.compile(r"ps\d+::")
@@ -222,6 +223,12 @@ class SimpleSymbolicClient(ClientAnalysis):
     # ----------------------------------------------------------------- transfer
 
     def transfer(
+        self, state: SymbolicState, pos: int, node: CFGNode
+    ) -> Optional[SymbolicState]:
+        with obs.span("client.transfer"):
+            return self._transfer(state, pos, node)
+
+    def _transfer(
         self, state: SymbolicState, pos: int, node: CFGNode
     ) -> Optional[SymbolicState]:
         entry = state.psets[pos]
@@ -623,6 +630,7 @@ class SimpleSymbolicClient(ClientAnalysis):
         assert isinstance(outcome, _Ambiguous)
         if depth <= 0:
             return []
+        obs.incr("client.match.world_splits")
         results: List[MatchResult] = []
         world_true = state.copy()
         world_true.cg.assume_leq(outcome.lhs, outcome.rhs)
@@ -645,6 +653,7 @@ class SimpleSymbolicClient(ClientAnalysis):
         r_pos: int,
         recv_node: CFGNode,
     ):
+        obs.incr("client.match.attempts")
         cg = state.cg
         send_stmt = send_node.stmt
         recv_stmt = recv_node.stmt
@@ -1130,6 +1139,10 @@ class SimpleSymbolicClient(ClientAnalysis):
     # ------------------------------------------------------------------- lattice
 
     def join(self, old: SymbolicState, new: SymbolicState) -> Optional[SymbolicState]:
+        with obs.span("client.join"):
+            return self._join(old, new)
+
+    def _join(self, old: SymbolicState, new: SymbolicState) -> Optional[SymbolicState]:
         if len(old.psets) != len(new.psets):
             return None
         aligned = self._align_uids(old, new)

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.dataflow.analyses import eval_const, sequential_constants
-from repro.dataflow.lattice import TOP
 from repro.lang.ast import Program, Recv, Send
 from repro.lang.cfg import CFG, NodeKind, build_cfg
 
@@ -69,10 +68,9 @@ def _reachable_by(cfg: CFG, node_id: int, probe_np: int) -> Set[int]:
     """Ranks whose specialized constant propagation reaches the node."""
     ranks = set()
     for rank in range(probe_np):
-        states = sequential_constants(cfg, num_procs=probe_np, proc_id=rank)
         # a node is reachable for this rank when its in-state is not bottom;
         # sequential_constants maps bottom to {} AND reachable-empty to {},
-        # so re-check with the raw solver
+        # so consult the raw solver states instead
         from repro.dataflow.analyses import ConstantPropagation
         from repro.dataflow.solver import solve_forward
 

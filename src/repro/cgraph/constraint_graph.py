@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.cgraph.stats import ClosureStats, global_stats, timed
 from repro.expr.linear import LinearExpr
+from repro.obs import recorder as _obs
 
 #: distinguished node representing the constant 0
 ZERO = "__0__"
@@ -168,7 +169,7 @@ class ConstraintGraph:
         names = [ZERO] + sorted(self.variables())
         index = {name: i for i, name in enumerate(names)}
         n = len(names)
-        with timed() as clock:
+        with _obs.span("cgraph.closure.full"), timed() as clock:
             matrix: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
             for i in range(n):
                 matrix[i][i] = 0
@@ -214,7 +215,7 @@ class ConstraintGraph:
         self.add_var(x)
         self.add_var(y)
         names = [ZERO] + sorted(self.variables())
-        with timed() as clock:
+        with _obs.span("cgraph.closure.incremental"), timed() as clock:
             existing = self._bound[x].get(y)
             if existing is not None and existing <= c:
                 self._closed = True

@@ -5,6 +5,12 @@ the dataflow state consistent: 217 executions of the O(n^3) transitive
 closure (average 52.3 variables) plus 78 executions of a cheaper O(n^2)
 incremental variant (average 66.3 variables).  These counters let the
 benchmark harness reproduce that profile shape on our implementation.
+
+``ClosureStats`` keeps its historical report shape, but every recorded
+closure is also forwarded onto the :mod:`repro.obs` metrics API
+(``cgraph.closure.*`` counters and histograms) so the Section IX profile
+exporter and the engine's span tree see the same events.  The forwarding is
+a no-op while observability is disabled.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import List
+
+from repro.obs import recorder as _obs
 
 
 @dataclass
@@ -33,12 +41,18 @@ class ClosureStats:
         self.full_calls += 1
         self.full_vars.append(num_vars)
         self.full_time += elapsed
+        _obs.incr("cgraph.closure.full.calls")
+        _obs.observe("cgraph.closure.full.vars", num_vars)
+        _obs.observe("cgraph.closure.full.time", elapsed)
 
     def record_incremental(self, num_vars: int, elapsed: float) -> None:
         """Record one O(n^2) incremental closure."""
         self.incremental_calls += 1
         self.incremental_vars.append(num_vars)
         self.incremental_time += elapsed
+        _obs.incr("cgraph.closure.incremental.calls")
+        _obs.observe("cgraph.closure.incremental.vars", num_vars)
+        _obs.observe("cgraph.closure.incremental.time", elapsed)
 
     @property
     def closure_time(self) -> float:

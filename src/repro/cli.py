@@ -7,6 +7,7 @@ Examples::
     python -m repro my_program.mpl --np 8          # analyze + validate a file
     python -m repro pingpong --constants           # constant propagation
     python -m repro message_leak --bugs            # bug detection
+    python -m repro profile mdcask_full            # Section IX cost profile
 """
 
 from __future__ import annotations
@@ -21,7 +22,8 @@ from repro.analyses.constprop import propagate_constants
 from repro.analyses.patterns import classify_topology
 from repro.analyses.simple_symbolic import analyze_program
 from repro.lang import parse, programs
-from repro.runtime import DeadlockError, run_program
+from repro.obs import profile_program
+from repro.runtime import DeadlockError
 
 
 def _load(target: str):
@@ -62,7 +64,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Section IX cost profile of one analysis run",
+    )
+    parser.add_argument("target", help="MPL file or corpus program name")
+    parser.add_argument(
+        "--json", dest="json_path", default="profile.json",
+        help="where to write the JSON profile (default: profile.json)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="print the table only"
+    )
+    parser.add_argument(
+        "--naive", action="store_true",
+        help="profile the naive full-reclosure strategy instead",
+    )
+    return parser
+
+
+def profile_main(argv) -> int:
+    args = build_profile_parser().parse_args(argv)
+    program, spec = _load(args.target)
+    name = spec.name if spec else Path(args.target).stem
+    profile, result = profile_program(program, name=name, naive=args.naive)
+    print(profile.table())
+    if not args.no_json:
+        Path(args.json_path).write_text(profile.to_json())
+        print(f"\nwrote {args.json_path}")
+    if result.gave_up:
+        print(f"analysis gave up (T): {result.give_up_reason}")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for spec in programs.all_specs():

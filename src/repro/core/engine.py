@@ -38,6 +38,7 @@ from repro.core.errors import GiveUp
 from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
 from repro.core.topology import MatchRecord, StaticTopology
 from repro.lang.cfg import CFG, NodeKind
+from repro.obs import recorder as obs
 
 
 @dataclass
@@ -98,6 +99,10 @@ class PCFGEngine:
 
     def run(self) -> AnalysisResult:
         """Explore to fixed point and return the analysis result."""
+        with obs.span("engine.run"):
+            return self._run()
+
+    def _run(self) -> AnalysisResult:
         result = AnalysisResult(topology=StaticTopology())
         client = self.client
         try:
@@ -127,6 +132,8 @@ class PCFGEngine:
             if result.gave_up:
                 break
             result.steps += 1
+            obs.incr("engine.steps")
+            obs.observe("engine.worklist.length", len(worklist))
             if result.steps > self.limits.max_steps:
                 result.gave_up = True
                 result.give_up_reason = (
@@ -138,7 +145,8 @@ class PCFGEngine:
             visits[key] = visits.get(key, 0) + 1
             state = states[key]
             try:
-                successors = self._step(key, state, result)
+                with obs.span("engine.step"):
+                    successors = self._step(key, state, result)
             except GiveUp as failure:
                 result.gave_up = True
                 result.give_up_reason = failure.reason
@@ -169,8 +177,11 @@ class PCFGEngine:
         blocked = [self._is_blocking(nid) for nid in locs]
 
         # 1. send-receive matching (possibly several alternative worlds)
-        matches = client.try_match(state, locs, blocked, self.cfg)
+        with obs.span("engine.match"):
+            matches = client.try_match(state, locs, blocked, self.cfg)
+        obs.incr("engine.match.attempts")
         if matches:
+            obs.incr("engine.matches", len(matches))
             return [self._apply_match(locs, match, result) for match in matches]
 
         # 2. advance one unblocked process set
@@ -179,8 +190,11 @@ class PCFGEngine:
             if node.kind in (NodeKind.RECV, NodeKind.SEND, NodeKind.EXIT):
                 continue
             if node.kind == NodeKind.BRANCH:
-                return self._apply_branch(locs, pos, node, state)
-            new_state = client.transfer(state, pos, node)
+                with obs.span("engine.branch"):
+                    return self._apply_branch(locs, pos, node, state)
+            with obs.span("engine.transfer"):
+                new_state = client.transfer(state, pos, node)
+            obs.incr("engine.transfers")
             if new_state is None:
                 return []  # infeasible: path is dead
             new_locs = list(locs)
@@ -192,6 +206,7 @@ class PCFGEngine:
             node = self.cfg.node(node_id)
             if node.kind == NodeKind.SEND and client.can_buffer(state, pos, node):
                 new_state = client.buffer_send(state, pos, node)
+                obs.incr("engine.buffers")
                 new_locs = list(locs)
                 new_locs[pos] = self._single_successor(node_id)
                 return [(new_locs, new_state, "buffer", node.describe())]
@@ -265,6 +280,9 @@ class PCFGEngine:
         self, locs: List[int], pos: int, node, state: ClientState
     ) -> List[Tuple[List[int], ClientState, str, str]]:
         outcome = self.client.branch(state, pos, node)
+        obs.incr("engine.branches")
+        if isinstance(outcome, Split):
+            obs.incr("engine.splits")
         successors: List[Tuple[List[int], ClientState, str, str]] = []
         if isinstance(outcome, Decided):
             new_locs = list(locs)
@@ -295,6 +313,22 @@ class PCFGEngine:
     # -- canonicalization and state merging -----------------------------------------
 
     def _canonicalize_into(
+        self,
+        states: Dict[PCFGNodeKey, ClientState],
+        visits: Dict[PCFGNodeKey, int],
+        src_key: Optional[PCFGNodeKey],
+        locs: Sequence[int],
+        state: ClientState,
+        kind: str,
+        detail: str,
+        result: AnalysisResult,
+    ) -> Optional[PCFGNodeKey]:
+        with obs.span("engine.canonicalize"):
+            return self._canonicalize(
+                states, visits, src_key, locs, state, kind, detail, result
+            )
+
+    def _canonicalize(
         self,
         states: Dict[PCFGNodeKey, ClientState],
         visits: Dict[PCFGNodeKey, int],
@@ -349,11 +383,15 @@ class PCFGEngine:
             states[key] = state
             return key
         old = states[key]
-        combined = client.join(old, state)
+        with obs.span("engine.join"):
+            combined = client.join(old, state)
+        obs.incr("engine.joins")
         if combined is None:
             raise GiveUp(f"states at pCFG node {key} cannot be joined")
         if visits.get(key, 0) >= self.limits.widen_after:
-            widened = client.widen(old, combined)
+            with obs.span("engine.widen"):
+                widened = client.widen(old, combined)
+            obs.incr("engine.widenings")
             if widened is None:
                 raise GiveUp(f"widening lost process-set bounds at {key}")
             combined = widened

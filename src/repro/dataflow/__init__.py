@@ -11,14 +11,14 @@ over a single process' control-flow graph.  It serves three purposes here:
 3. Intra-process components of client analyses.
 """
 
-from repro.dataflow.lattice import FlatConst, FlatLattice, Lattice, SetLattice
-from repro.dataflow.solver import DataflowProblem, solve_forward
 from repro.dataflow.analyses import (
     ConstantPropagation,
     LiveVariables,
     ReachingDefinitions,
     sequential_constants,
 )
+from repro.dataflow.lattice import FlatConst, FlatLattice, Lattice, SetLattice
+from repro.dataflow.solver import DataflowProblem, solve_forward
 
 __all__ = [
     "Lattice",

@@ -225,7 +225,6 @@ class LiveVariables:
         while changed:
             changed = False
             for nid in self._cfg.nodes:
-                node = self._cfg.node(nid)
                 out: FrozenSet[str] = frozenset()
                 for succ, _label in self._cfg.successors(nid):
                     succ_node = self._cfg.node(succ)

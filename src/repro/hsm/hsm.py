@@ -63,7 +63,6 @@ class HSM:
 
     def profile(self) -> List[Poly]:
         """Repetition counts from innermost to outermost level."""
-        reps: List[Poly] = []
         node: Base = self
         stack = []
         while isinstance(node, HSM):

@@ -11,11 +11,12 @@ canonicalizer so most proofs close in one or two steps.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Set
+from typing import Set
 
 from repro.expr.rewrite import InvariantSystem
-from repro.hsm.hsm import Base, HSM, HSMOps
+from repro.hsm.hsm import Base, HSMOps
 from repro.hsm.rules import seq_rewrites, set_rewrites
+from repro.obs import recorder as obs
 
 
 def _fingerprint(h: Base) -> str:
@@ -66,6 +67,15 @@ class HSMProver:
     # -- search -----------------------------------------------------------------
 
     def _search(self, a: Base, b: Base, set_preserving: bool) -> bool:
+        with obs.span("hsm.prove"):
+            found = self._search_impl(a, b, set_preserving)
+        obs.incr("hsm.proof.attempts")
+        obs.incr("hsm.proof.successes" if found else "hsm.proof.failures")
+        if self.explored_counts:
+            obs.observe("hsm.proof.explored", self.explored_counts[-1])
+        return found
+
+    def _search_impl(self, a: Base, b: Base, set_preserving: bool) -> bool:
         start = self.ops.normalize(a)
         goal = self.ops.normalize(b)
         if self.ops.equal(start, goal):

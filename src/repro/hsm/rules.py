@@ -21,6 +21,7 @@ from typing import Iterator, List
 from repro.expr.poly import Poly
 from repro.expr.rewrite import InvariantSystem
 from repro.hsm.hsm import HSM, Base, HSMOps
+from repro.obs import recorder as obs
 
 
 def _rebuild(h: Base, path: List[int], replacement: Base) -> Base:
@@ -48,6 +49,7 @@ def seq_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
             node.stride, node.base.rep * node.base.stride
         ):
             flat = HSM(node.base.base, node.base.rep * node.rep, node.base.stride)
+            obs.incr("hsm.rule.flatten")
             yield _rebuild(h, path, flat)
         # nest: [e : r*r', s] = [[e : f, s] : r/f, f*s] for factor splits
         for factor in _candidate_factors(node.rep, inv):
@@ -58,6 +60,7 @@ def seq_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
                 continue
             inner = HSM(node.base, factor, node.stride)
             nested = HSM(inner, outer, inv.normalize(factor * node.stride))
+            obs.incr("hsm.rule.nest")
             yield _rebuild(h, path, nested)
 
 
@@ -71,6 +74,7 @@ def set_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
         # interleave:  [[e : r, r'*s] : r', s]  ~  [e : r*r', s]
         if inv.equal(inner.stride, node.rep * node.stride):
             merged = HSM(inner.base, inner.rep * node.rep, node.stride)
+            obs.incr("hsm.rule.interleave")
             yield _rebuild(h, path, merged)
         # reverse interleave: [e : r*r', s] ~ [[e : r, r'*s] : r', s]
         # (generated via the swap + flatten combination; omitted directly)
@@ -78,6 +82,7 @@ def set_rewrites(h: Base, ops: HSMOps) -> Iterator[Base]:
         swapped = HSM(
             HSM(inner.base, node.rep, node.stride), inner.rep, inner.stride
         )
+        obs.incr("hsm.rule.swap")
         yield _rebuild(h, path, swapped)
 
 

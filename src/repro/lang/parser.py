@@ -26,7 +26,7 @@ Grammar (EBNF)::
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.lang.ast import (
     Assert,

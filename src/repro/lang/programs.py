@@ -17,8 +17,8 @@ The three headline examples:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.lang.ast import Program
 from repro.lang.parser import parse

@@ -1,0 +1,58 @@
+"""repro.obs — observability for the pCFG engine.
+
+Hierarchical span tracing, typed counters/histograms, and a Section IX
+profile exporter.  Disabled by default at zero cost; enable with::
+
+    from repro import obs
+
+    recorder = obs.enable()
+    ...run an analysis...
+    print(recorder.snapshot())
+
+or profile a whole run in one call::
+
+    from repro.obs import profile_program
+
+    profile, result = profile_program(programs.get("exchange_with_root"))
+    print(profile.table())          # Section IX-style cost table
+    profile.to_json()               # the CI build artifact
+
+The CLI equivalent is ``python -m repro profile <program>``.
+"""
+
+from repro.obs.profile import SPAN_CATEGORIES, Profile, build_profile, profile_program
+from repro.obs.recorder import (
+    HistogramStats,
+    NullRecorder,
+    Recorder,
+    SpanStats,
+    active_recorder,
+    disable,
+    enable,
+    enabled,
+    incr,
+    observe,
+    recording,
+    reset,
+    span,
+)
+
+__all__ = [
+    "HistogramStats",
+    "NullRecorder",
+    "Profile",
+    "Recorder",
+    "SPAN_CATEGORIES",
+    "SpanStats",
+    "active_recorder",
+    "build_profile",
+    "disable",
+    "enable",
+    "enabled",
+    "incr",
+    "observe",
+    "profile_program",
+    "recording",
+    "reset",
+    "span",
+]

@@ -1,0 +1,255 @@
+"""Structured tracing and metrics for the pCFG engine.
+
+The observability layer has exactly two states:
+
+* **disabled** (the default): the active recorder is a :class:`NullRecorder`
+  whose every operation is a no-op, so instrumented hot paths pay only a
+  couple of function calls per event.  Tier-1 timings must not regress.
+* **enabled**: the active recorder is a :class:`Recorder` aggregating
+  hierarchical *spans* (nested timed regions, with self-time attribution),
+  *counters* (monotonic event counts), and *histograms* (value
+  distributions: count/total/min/max).
+
+Instrumented code never branches on the state — it calls the module-level
+:func:`span` / :func:`incr` / :func:`observe` helpers, which dispatch to
+whatever recorder is currently installed.  The recorder is process-global
+and not thread-safe, matching the single-threaded analysis engine.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by the disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"spans": {}, "counters": {}, "histograms": {}}
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timing of one span name."""
+
+    count: int = 0
+    #: wall time inside the span, children included
+    total_time: float = 0.0
+    #: wall time inside the span minus time inside child spans
+    self_time: float = 0.0
+
+
+@dataclass
+class HistogramStats:
+    """Summary statistics of one observed value stream."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Span:
+    """A live span: measures one enter/exit and feeds the recorder."""
+
+    __slots__ = ("_recorder", "name", "_start", "_child_time")
+
+    def __init__(self, recorder: "Recorder", name: str):
+        self._recorder = recorder
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._child_time = 0.0
+        self._recorder._stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter() - self._start
+        recorder = self._recorder
+        recorder._stack.pop()
+        stats = recorder.spans.setdefault(self.name, SpanStats())
+        stats.count += 1
+        stats.total_time += elapsed
+        stats.self_time += elapsed - self._child_time
+        if recorder._stack:
+            recorder._stack[-1]._child_time += elapsed
+        return False
+
+
+class Recorder:
+    """The enabled recorder: aggregates spans, counters, and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: Dict[str, SpanStats] = {}
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
+        self._stack: List[_Span] = []
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one region under ``name``."""
+        return _Span(self, name)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into a histogram."""
+        self.histograms.setdefault(name, HistogramStats()).add(value)
+
+    def reset(self) -> None:
+        """Drop everything collected so far."""
+        self.spans.clear()
+        self.counters.clear()
+        self.histograms.clear()
+        self._stack.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-serializable copy of all aggregates."""
+        return {
+            "spans": {
+                name: {
+                    "count": s.count,
+                    "total_time": s.total_time,
+                    "self_time": s.self_time,
+                }
+                for name, s in self.spans.items()
+            },
+            "counters": dict(self.counters),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+
+AnyRecorder = Union[Recorder, NullRecorder]
+
+_NULL = NullRecorder()
+_active: AnyRecorder = _NULL
+
+
+def active_recorder() -> AnyRecorder:
+    """The currently installed recorder (Null when disabled)."""
+    return _active
+
+
+def enabled() -> bool:
+    """True iff observability is currently collecting."""
+    return _active.enabled
+
+
+def enable(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install (and return) an aggregating recorder.
+
+    With no argument, keeps the current recorder if one is already enabled,
+    otherwise installs a fresh one.
+    """
+    global _active
+    if recorder is None:
+        if isinstance(_active, Recorder):
+            return _active
+        recorder = Recorder()
+    _active = recorder
+    return recorder
+
+
+def disable() -> None:
+    """Return to the zero-cost disabled state (collected data is kept on
+    the old recorder object if the caller holds a reference)."""
+    global _active
+    _active = _NULL
+
+
+def reset() -> None:
+    """Disable and drop all collected data: the pristine default state."""
+    global _active
+    if isinstance(_active, Recorder):
+        _active.reset()
+    _active = _NULL
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Temporarily install ``recorder`` (default: a fresh one), restoring
+    the previous state on exit.  This is how profiling drivers isolate
+    their measurements from the global recorder."""
+    global _active
+    previous = _active
+    installed = recorder if recorder is not None else Recorder()
+    _active = installed
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+def span(name: str):
+    """Time a region: ``with obs.span("engine.step"): ...``"""
+    return _active.span(name)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Bump a counter on the active recorder."""
+    _active.incr(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram value on the active recorder."""
+    _active.observe(name, value)

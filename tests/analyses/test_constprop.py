@@ -1,7 +1,5 @@
 """Parallel constant propagation tests (the Fig. 2 client)."""
 
-import pytest
-
 from repro.analyses.constprop import (
     ConstantPropagationClient,
     propagate_constants,

@@ -6,7 +6,6 @@ soundness contract against the interpreter: whenever the analysis converges,
 its match relation covers — and, by exactness, equals — the dynamic one.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analyses.simple_symbolic import analyze_program

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.analyses.cartesian import analyze_cartesian
 from repro.analyses.patterns import classify_edges, classify_topology
 from repro.analyses.simple_symbolic import analyze_program
-from repro.analyses.cartesian import analyze_cartesian
 from repro.lang import programs
 from tests.conftest import corpus_inputs
 

@@ -1,7 +1,5 @@
 """Concrete enumerator baseline tests."""
 
-import pytest
-
 from repro.analyses.simple_symbolic import analyze_program
 from repro.baselines.concrete import concrete_matches, sweep
 from repro.lang import programs

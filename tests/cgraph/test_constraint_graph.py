@@ -1,8 +1,5 @@
 """Constraint-graph (difference-bound) tests, including closure soundness."""
 
-import itertools
-
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cgraph.constraint_graph import ZERO, ConstraintGraph

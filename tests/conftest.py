@@ -4,7 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cgraph.stats import reset_global_stats
 from repro.lang import build_cfg, programs
+from repro.obs import recorder as obs_recorder
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate tests from each other's closure stats and obs recorder state."""
+    reset_global_stats()
+    obs_recorder.reset()
+    yield
+    reset_global_stats()
+    obs_recorder.reset()
 
 
 #: inputs consumed by ``input()`` for parameterized corpus programs, keyed by

@@ -1,10 +1,8 @@
 """pCFG engine behaviour tests."""
 
-import pytest
-
 from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
-from repro.core.engine import EngineLimits, PCFGEngine
-from repro.lang import build_cfg, parse, programs
+from repro.core.engine import EngineLimits
+from repro.lang import programs
 from repro.lang.cfg import NodeKind
 
 

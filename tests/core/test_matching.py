@@ -8,8 +8,7 @@ configurations of Fig. 3(a) and 3(b) that must be rejected.
 import pytest
 
 from repro.analyses.simple_symbolic import SimpleSymbolicClient, analyze_program
-from repro.core.client import MatchResult
-from repro.lang import build_cfg, parse
+from repro.lang import parse
 from repro.lang.cfg import NodeKind
 from repro.runtime import run_program
 

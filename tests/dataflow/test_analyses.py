@@ -6,7 +6,7 @@ from repro.dataflow.analyses import (
     eval_const,
     sequential_constants,
 )
-from repro.dataflow.lattice import BOTTOM, TOP
+from repro.dataflow.lattice import TOP
 from repro.dataflow.solver import solve_forward
 from repro.lang import build_cfg, parse, programs
 from repro.lang.cfg import NodeKind

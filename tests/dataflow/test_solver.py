@@ -1,6 +1,5 @@
 """Worklist solver and lattice tests."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.dataflow.lattice import BOTTOM, TOP, FlatLattice, SetLattice

@@ -1,6 +1,5 @@
 """Expression -> HSM conversion tests (Section VIII-A mechanization)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr.poly import Poly

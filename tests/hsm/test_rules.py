@@ -1,6 +1,5 @@
 """Rewrite-rule soundness: every rewrite preserves sequence/set semantics."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr.poly import Poly

@@ -44,13 +44,13 @@ class TestStructure:
     def test_if_without_else_false_edge_exists(self):
         cfg = cfg_of("if x == 0 then skip end print x")
         branch = next(n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH)
-        false_edges = [l for _d, l in cfg.successors(branch.node_id) if l is False]
+        false_edges = [lbl for _d, lbl in cfg.successors(branch.node_id) if lbl is False]
         assert len(false_edges) == 1
 
     def test_while_back_edge(self):
         cfg = cfg_of("while x > 0 do x = x - 1 end")
         branch = next(n for n in cfg.nodes.values() if n.kind == NodeKind.BRANCH)
-        body = next(d for d, l in cfg.successors(branch.node_id) if l is True)
+        body = next(d for d, lbl in cfg.successors(branch.node_id) if lbl is True)
         assert branch.node_id in cfg.succ_ids(body)
 
     def test_for_desugars_to_init_and_while(self):
@@ -117,6 +117,6 @@ class TestCorpusCFGs:
         for node in cfg.nodes.values():
             if node.kind == NodeKind.BRANCH:
                 labels = sorted(
-                    l for _d, l in cfg.successors(node.node_id) if l is not None
+                    lbl for _d, lbl in cfg.successors(node.node_id) if lbl is not None
                 )
                 assert labels == [False, True]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.lexer import LexError, tokenize
 
 
 class TestTokenize:

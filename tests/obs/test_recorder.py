@@ -1,0 +1,137 @@
+"""Recorder semantics: span nesting, counters, histograms, enable/disable."""
+
+import time
+
+from repro.obs import recorder as obs
+from repro.obs.recorder import NullRecorder, Recorder
+
+
+class TestDisabledIsNoOp:
+    def test_default_state_is_disabled(self):
+        assert not obs.enabled()
+        assert isinstance(obs.active_recorder(), NullRecorder)
+
+    def test_disabled_records_nothing(self):
+        with obs.span("outer"):
+            obs.incr("events")
+            obs.observe("sizes", 3)
+        snap = obs.active_recorder().snapshot()
+        assert snap == {"spans": {}, "counters": {}, "histograms": {}}
+
+    def test_null_span_is_shared_singleton(self):
+        null = NullRecorder()
+        assert null.span("a") is null.span("b")
+
+
+class TestSpans:
+    def test_span_counts_and_times(self):
+        rec = Recorder()
+        with rec.span("work"):
+            time.sleep(0.002)
+        with rec.span("work"):
+            pass
+        stats = rec.spans["work"]
+        assert stats.count == 2
+        assert stats.total_time >= 0.002
+        assert stats.self_time <= stats.total_time + 1e-9
+
+    def test_nested_spans_attribute_self_time(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                time.sleep(0.005)
+        outer, inner = rec.spans["outer"], rec.spans["inner"]
+        # the outer span's total includes the inner, its self-time excludes it
+        assert outer.total_time >= inner.total_time
+        assert outer.self_time < outer.total_time
+        assert abs((outer.total_time - outer.self_time) - inner.total_time) < 1e-3
+
+    def test_sibling_spans_both_deducted_from_parent(self):
+        rec = Recorder()
+        with rec.span("parent"):
+            with rec.span("a"):
+                time.sleep(0.002)
+            with rec.span("b"):
+                time.sleep(0.002)
+        parent = rec.spans["parent"]
+        children = rec.spans["a"].total_time + rec.spans["b"].total_time
+        assert abs((parent.total_time - parent.self_time) - children) < 1e-3
+
+    def test_recursive_span_name_aggregates(self):
+        rec = Recorder()
+        with rec.span("f"):
+            with rec.span("f"):
+                pass
+        assert rec.spans["f"].count == 2
+
+
+class TestCountersAndHistograms:
+    def test_counter_accumulates(self):
+        rec = Recorder()
+        rec.incr("n")
+        rec.incr("n", 4)
+        assert rec.counters["n"] == 5
+
+    def test_histogram_summary(self):
+        rec = Recorder()
+        for v in (1, 5, 3):
+            rec.observe("vals", v)
+        h = rec.histograms["vals"]
+        assert (h.count, h.total, h.min, h.max) == (3, 9, 1, 5)
+        assert h.mean == 3
+
+    def test_empty_histogram_mean(self):
+        from repro.obs.recorder import HistogramStats
+
+        assert HistogramStats().mean == 0.0
+
+
+class TestGlobalState:
+    def test_enable_installs_and_disable_restores(self):
+        rec = obs.enable()
+        assert obs.enabled()
+        assert obs.active_recorder() is rec
+        assert obs.enable() is rec  # idempotent without an argument
+        obs.disable()
+        assert not obs.enabled()
+
+    def test_module_helpers_hit_active_recorder(self):
+        rec = obs.enable()
+        with obs.span("s"):
+            obs.incr("c")
+            obs.observe("h", 1.0)
+        assert rec.spans["s"].count == 1
+        assert rec.counters["c"] == 1
+        assert rec.histograms["h"].count == 1
+
+    def test_reset_disables_and_clears(self):
+        rec = obs.enable()
+        rec.incr("c")
+        obs.reset()
+        assert not obs.enabled()
+        assert rec.counters == {}
+
+    def test_recording_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.recording() as rec:
+            assert obs.active_recorder() is rec
+            obs.incr("inside")
+        assert not obs.enabled()
+        assert rec.counters["inside"] == 1
+
+    def test_recording_restores_an_enabled_recorder(self):
+        outer = obs.enable()
+        with obs.recording() as inner:
+            obs.incr("c")
+        assert obs.active_recorder() is outer
+        assert "c" not in outer.counters
+        assert inner.counters["c"] == 1
+
+    def test_snapshot_is_json_plain(self):
+        import json
+
+        rec = Recorder()
+        with rec.span("s"):
+            rec.observe("h", 2.5)
+        text = json.dumps(rec.snapshot())
+        assert json.loads(text)["histograms"]["h"]["mean"] == 2.5

@@ -1,5 +1,7 @@
 """CLI driver tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -54,3 +56,35 @@ class TestCLI:
         assert main(["transpose_square", "--np", "9", "--inputs", "3", "3"]) == 0
         out = capsys.readouterr().out
         assert "transpose" in out
+
+
+class TestProfileSubcommand:
+    def test_profile_corpus_program(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        assert main(["profile", "exchange_with_root", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Section IX cost profile" in out
+        assert "closure share of total time" in out
+        data = json.loads(out_path.read_text())
+        assert data["program"] == "exchange_with_root"
+        assert data["closure"]["full_calls"] > 0
+
+    def test_profile_quickstart_program(self, tmp_path, capsys):
+        from examples.quickstart import SOURCE
+
+        source = tmp_path / "quickstart.mpl"
+        source.write_text(SOURCE)
+        assert main(["profile", str(source), "--no-json"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "engine.step" in out
+
+    def test_profile_no_json_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "pingpong", "--no-json"]) == 0
+        assert not (tmp_path / "profile.json").exists()
+
+    def test_profile_gave_up_exit_code(self, tmp_path):
+        assert main(
+            ["profile", "ring_modular", "--json", str(tmp_path / "p.json")]
+        ) == 1
