@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Tracked benchmark baseline for the pCFG engine hot path.
+
+Runs the three tracked workloads — the measured core of
+``benchmarks/bench_fig5_exchange.py``, ``benchmarks/bench_fig2_constprop.py``
+and ``benchmarks/bench_sec9_profile.py`` — and records the median-of-5 wall
+time of each plus the observability counters of one instrumented run.
+
+Two modes:
+
+``--out BENCH.json``
+    Measure and write the baseline document.  ``--pre OLD.json`` embeds a
+    previously captured document under ``"pre_overhaul"`` so the file carries
+    its own before/after trajectory (this is how ``BENCH_pr2.json`` records
+    the pre-PR-2 engine).
+
+``--compare BENCH.json``
+    Measure and compare against the committed medians; exit non-zero when
+    any tracked median regressed by more than ``--threshold`` (default 25%,
+    the CI gate).
+
+The JSON schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "benches":  {"<name>": {"median_s": float, "runs_s": [float, ...]}},
+      "counters": {"<name>": {"<obs counter>": int, ...}},
+      "counters_warm": { ... same shape, second run with warm memo tables ... },
+      "pre_overhaul": { ... an older document's "benches"/"counters" ... }
+    }
+
+``counters`` is a cold run (every memo table cleared first) — the fair
+baseline for the timed medians, which are also cold.  ``counters_warm`` is
+an immediately repeated run with the process-wide closure/equivalence
+memos left hot, the steady state of a long-lived analysis process: the
+``cgraph.closure.cache_hits`` counter replaces essentially all closure
+executions there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import analyze, programs  # noqa: E402
+from repro.analyses.constprop import propagate_constants  # noqa: E402
+from repro.cgraph import constraint_graph  # noqa: E402
+from repro.cgraph.stats import reset_global_stats  # noqa: E402
+from repro.obs import profile_program  # noqa: E402
+from repro.obs import recorder as obs_recorder  # noqa: E402
+
+#: counters recorded per workload (missing counters default to 0 so the
+#: script also runs against engines that predate them)
+TRACKED_COUNTERS = (
+    "engine.steps",
+    "engine.joins",
+    "engine.widenings",
+    "engine.worklist.dedup",
+    "engine.intern.hits",
+    "cgraph.cow.shares",
+    "cgraph.cow.materializations",
+    "cgraph.closure.cache_hits",
+    "cgraph.closure.full.calls",
+    "cgraph.closure.incremental.calls",
+    "hsm.prove.cache_hits",
+)
+
+WARMUP_RUNS = 1
+TIMED_RUNS = 5
+
+
+def _reset() -> None:
+    """Per-run isolation: closure stats, obs recorder, and engine caches."""
+    reset_global_stats()
+    obs_recorder.reset()
+    clear = getattr(constraint_graph, "clear_closure_caches", None)
+    if clear is not None:
+        clear()
+    # collect garbage left by the previous run so a collection triggered by
+    # an earlier workload's debris never lands inside a timed window
+    gc.collect()
+
+
+def _bench_fig5_exchange() -> None:
+    result, _, _ = analyze(programs.get("exchange_with_root"))
+    assert not result.gave_up
+
+
+def _bench_fig2_constprop() -> None:
+    report, _, _ = propagate_constants(programs.get("pingpong"))
+    assert not report.gave_up
+
+
+def _bench_sec9_profile() -> None:
+    _, result = profile_program(programs.get("broadcast_fanout"), naive=False)
+    assert not result.gave_up
+
+
+WORKLOADS: Dict[str, Callable[[], None]] = {
+    "bench_fig5_exchange": _bench_fig5_exchange,
+    "bench_fig2_constprop": _bench_fig2_constprop,
+    "bench_sec9_profile": _bench_sec9_profile,
+}
+
+
+def _instrumented(workload: Callable[[], None]) -> Dict[str, int]:
+    """One recorded run of a workload; returns the tracked counters."""
+    with obs_recorder.recording() as recorder:
+        workload()
+        snapshot = recorder.snapshot()["counters"]
+    return {key: int(snapshot.get(key, 0)) for key in TRACKED_COUNTERS}
+
+
+def measure() -> dict:
+    """Median-of-5 cold wall times plus cold and warm instrumented runs."""
+    benches: Dict[str, dict] = {}
+    counters: Dict[str, dict] = {}
+    counters_warm: Dict[str, dict] = {}
+    for name, workload in WORKLOADS.items():
+        for _ in range(WARMUP_RUNS):
+            _reset()
+            workload()
+        runs = []
+        for _ in range(TIMED_RUNS):
+            _reset()
+            start = time.perf_counter()
+            workload()
+            runs.append(time.perf_counter() - start)
+        benches[name] = {
+            "median_s": statistics.median(runs),
+            "runs_s": runs,
+        }
+        _reset()
+        counters[name] = _instrumented(workload)
+        # second run without clearing the process-wide memo tables: the
+        # steady state of a warm analysis process
+        counters_warm[name] = _instrumented(workload)
+        _reset()
+    return {
+        "schema": "repro-bench/1",
+        "benches": benches,
+        "counters": counters,
+        "counters_warm": counters_warm,
+    }
+
+
+def write_baseline(out: Path, pre: Path = None) -> dict:
+    document = measure()
+    if pre is not None:
+        old = json.loads(pre.read_text())
+        document["pre_overhaul"] = {
+            "benches": old.get("benches", {}),
+            "counters": old.get("counters", {}),
+        }
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def compare(baseline_path: Path, threshold: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    current = measure()
+    failures = []
+    print(f"{'bench':28s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    for name, recorded in sorted(baseline.get("benches", {}).items()):
+        if name not in current["benches"]:
+            continue
+        old = recorded["median_s"]
+        new = current["benches"][name]["median_s"]
+        ratio = new / old if old > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            failures.append((name, old, new, ratio))
+            flag = "  REGRESSION"
+        print(f"{name:28s} {old:>11.4f}s {new:>11.4f}s {ratio:>7.2f}x{flag}")
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} tracked median(s) regressed more than "
+            f"{100 * threshold:.0f}% vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no tracked median regressed more than {100 * threshold:.0f}%")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--out", type=Path, help="write a fresh baseline document")
+    mode.add_argument(
+        "--compare", type=Path, help="compare against a committed baseline"
+    )
+    parser.add_argument(
+        "--pre",
+        type=Path,
+        default=None,
+        help="older document to embed under 'pre_overhaul' (with --out)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional median regression in --compare mode",
+    )
+    args = parser.parse_args(argv)
+    if args.out is not None:
+        document = write_baseline(args.out, args.pre)
+        for name, entry in sorted(document["benches"].items()):
+            print(f"{name:28s} median {entry['median_s']:.4f}s")
+        print(f"wrote {args.out}")
+        return 0
+    return compare(args.compare, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,10 @@
 #                  ruff is not installed; CI installs it from PyPI)
 #   test        -> PYTHONPATH=src python -m pytest -x -q      (one local
 #                  interpreter stands in for the 3.9-3.12 matrix)
-#   bench-smoke -> benchmark suite with timing disabled, then the Section IX
-#                  profile artifact via `python -m repro profile`.
+#   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
+#                  regression gate (`scripts/bench_baseline.py --compare`),
+#                  then the Section IX profile artifact via
+#                  `python -m repro profile`.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -36,6 +38,8 @@ export PYTHONPATH
 step "test (python $(python -c 'import sys; print("%d.%d" % sys.version_info[:2])'))" \
   python -m pytest -x -q
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
+step "bench-smoke: tracked baseline" \
+  python scripts/bench_baseline.py --compare BENCH_pr2.json
 step "bench-smoke: profile artifact" \
   python -m repro profile exchange_with_root --json profile.json
 step "bench-smoke: artifact is valid JSON" \

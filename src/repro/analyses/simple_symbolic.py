@@ -130,6 +130,7 @@ class SimpleSymbolicClient(ClientAnalysis):
         stats: Optional[ClosureStats] = None,
         ambiguity_depth: int = 3,
         naive_closure: bool = False,
+        naive_copy: bool = False,
     ):
         self.min_np = min_np
         self.buffering = buffering
@@ -138,13 +139,21 @@ class SimpleSymbolicClient(ClientAnalysis):
         self.ambiguity_depth = ambiguity_depth
         #: Section IX ablation: re-close the constraint graph on every query
         self.naive_closure = naive_closure
+        #: ablation / property-test oracle: eager deep copies, no COW or memos
+        self.naive_copy = naive_copy
         #: node_id -> set of printed constant values (None marks "unknown")
         self.print_observations: Dict[int, Set[Optional[int]]] = {}
+        #: (graph fingerprint, ranges) -> enriched ProcSet (see ``_enrich``)
+        self._enrich_memo: Dict[tuple, ProcSet] = {}
 
     # ------------------------------------------------------------------ basics
 
     def initial(self) -> SymbolicState:
-        cg = ConstraintGraph(self.stats, naive_closure=self.naive_closure)
+        cg = ConstraintGraph(
+            self.stats,
+            naive_closure=self.naive_closure,
+            naive_copy=self.naive_copy,
+        )
         cg.add_lower("np", self.min_np)
         id0 = qualify(0, "id")
         cg.add_lower(id0, 0)
@@ -563,8 +572,19 @@ class SimpleSymbolicClient(ClientAnalysis):
 
     def _enrich(self, pset: ProcSet, cg: ConstraintGraph) -> ProcSet:
         """Drop provably-empty ranges, then extend every bound with all
-        provably-equal expressions."""
-        vocabulary = cg.variables()
+        provably-equal expressions.
+
+        Memoized on ``(graph fingerprint, ranges)``: enrichment is pure in
+        the graph's semantics, and the same (state, pset) pairs recur at
+        every re-visit of a pCFG node until its fixed point.
+        """
+        key = None
+        if not (self.naive_closure or self.naive_copy):
+            key = (cg.fingerprint(), pset.ranges)
+            hit = self._enrich_memo.get(key)
+            if hit is not None:
+                return hit
+        vocabulary = frozenset(cg.variables())
         pset = pset.prune_empty(cg)
 
         def enrich_bound(bound: Bound) -> Bound:
@@ -573,9 +593,14 @@ class SimpleSymbolicClient(ClientAnalysis):
                 exprs |= cg.equivalents(expr, vocabulary)
             return Bound(exprs)
 
-        return ProcSet(
+        result = ProcSet(
             [SymRange(enrich_bound(r.lb), enrich_bound(r.ub)) for r in pset.ranges]
         )
+        if key is not None:
+            if len(self._enrich_memo) >= 4096:
+                self._enrich_memo.clear()
+            self._enrich_memo[key] = result
+        return result
 
     # ------------------------------------------------------------------ matching
 
@@ -1143,6 +1168,8 @@ class SimpleSymbolicClient(ClientAnalysis):
             return self._join(old, new)
 
     def _join(self, old: SymbolicState, new: SymbolicState) -> Optional[SymbolicState]:
+        if old is new:
+            return old  # hash-consed identical states: join is the identity
         if len(old.psets) != len(new.psets):
             return None
         aligned = self._align_uids(old, new)
@@ -1169,6 +1196,8 @@ class SimpleSymbolicClient(ClientAnalysis):
         return SymbolicState(cg, combined.psets, combined.pendings, combined.next_uid)
 
     def states_equal(self, left: SymbolicState, right: SymbolicState) -> bool:
+        if left is right:
+            return True
         if len(left.psets) != len(right.psets):
             return False
         for a, b in zip(left.psets, right.psets):
@@ -1180,6 +1209,27 @@ class SimpleSymbolicClient(ClientAnalysis):
         if left.pendings != right.pendings:
             return False
         return left.cg.equivalent_to(right.cg)
+
+    def state_fingerprint(self, state: SymbolicState):
+        """Hashable semantic identity for the engine's hash-consing table.
+
+        Combines the constraint graph's closed-form fingerprint with the
+        process-set ranges, the in-flight sends, and the uid allocator, so
+        fingerprint-equal states are interchangeable for the rest of the
+        exploration.  The Section IX ablations opt out: forcing closures to
+        fingerprint would distort the naive profile they exist to measure.
+        """
+        if self.naive_closure or self.naive_copy:
+            return None
+        return (
+            state.cg.fingerprint(),
+            tuple((e.uid, e.pset.ranges) for e in state.psets),
+            tuple(
+                (p.send_node, p.origin_uid, p.pset.ranges, p.dest, p.value, p.mtype)
+                for p in state.pendings
+            ),
+            state.next_uid,
+        )
 
     def _enrich_state(self, state: SymbolicState) -> SymbolicState:
         new = state.copy()

@@ -10,6 +10,20 @@ Consistency is maintained by transitive closure (Floyd–Warshall, O(n^3)) or
 by an incremental single-constraint update (O(n^2)); both are instrumented
 through :mod:`repro.cgraph.stats` because reproducing the paper's Section IX
 profile requires counting exactly these operations.
+
+Representation sharing (PR 2).  The bound matrix is **copy-on-write**:
+:meth:`ConstraintGraph.copy` shares the underlying dict-of-dicts between
+parent and clone, and the first in-place mutation of either materializes a
+private copy (``cgraph.cow.shares`` / ``cgraph.cow.materializations``
+counters).  Closed graphs cache a canonical *fingerprint* of their
+constraint set, so :meth:`equivalent_to` is a hash comparison instead of a
+matrix walk, and both closure algorithms are memoized in a process-wide
+table — the full closure keyed by the unclosed constraint set, the
+incremental closure keyed by ``(fingerprint, added constraint)`` — with
+hits reported as ``cgraph.closure.cache_hits``.  The ``naive_copy`` flag
+restores the pre-PR-2 eager-copy, cache-free behavior for A/B property
+tests, and ``naive_closure`` (the Section IX ablation) also bypasses every
+cache so the paper's prototype cost profile stays reproducible.
 """
 
 from __future__ import annotations
@@ -20,11 +34,51 @@ from repro.cgraph.stats import ClosureStats, global_stats, timed
 from repro.expr.linear import LinearExpr
 from repro.obs import recorder as _obs
 
+try:  # optional vectorized min-plus kernel for the optimized closure path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the baked image ships numpy
+    _np = None
+
+#: below this many variables the pure-Python loop beats the array setup
+_NUMPY_CLOSURE_MIN_VARS = 16
+
 #: distinguished node representing the constant 0
 ZERO = "__0__"
 
 #: absence of a constraint (y - x unbounded above)
 INF = None
+
+#: memoized closure results: key -> (bound matrix, infeasible, fingerprint).
+#: Cached matrices are adopted copy-on-write and must never be mutated in
+#: place (every adopter holds them with ``_shared = True``).
+_CLOSURE_CACHE: Dict[tuple, Tuple[Dict[str, Dict[str, int]], bool, tuple]] = {}
+
+#: crude epoch eviction: when the table fills up it is dropped wholesale,
+#: which keeps behavior deterministic and bounds memory
+_CLOSURE_CACHE_MAX = 4096
+
+
+#: shared equivalence memos: semantic fingerprint -> {(expr, vocab): frozenset}.
+#: Graphs adopt the dict matching their semantics, so enrichment work
+#: survives copies, joins, and re-derivations of the same constraint system.
+_EQUIV_REGISTRY: Dict[tuple, dict] = {}
+
+#: sentinel key inside an equivalence memo dict holding the graph's
+#: precomputed equality-pair structure (see :meth:`_equality_pairs`);
+#: never collides with the ``(expr, vocab)`` tuple keys of real entries
+_EQUIV_PAIRS_KEY = "__equality_pairs__"
+
+
+def clear_closure_caches() -> None:
+    """Drop all memoized closure results (test/benchmark isolation)."""
+    _CLOSURE_CACHE.clear()
+    _EQUIV_REGISTRY.clear()
+
+
+def _cache_store(key: tuple, value) -> None:
+    if len(_CLOSURE_CACHE) >= _CLOSURE_CACHE_MAX:
+        _CLOSURE_CACHE.clear()
+    _CLOSURE_CACHE[key] = value
 
 
 class ConstraintGraph:
@@ -36,24 +90,106 @@ class ConstraintGraph:
     """
 
     def __init__(
-        self, stats: Optional[ClosureStats] = None, naive_closure: bool = False
+        self,
+        stats: Optional[ClosureStats] = None,
+        naive_closure: bool = False,
+        naive_copy: bool = False,
     ):
         # _bound[x][y] = c  <=>  y <= x + c  (edge x --c--> y)
         self._bound: Dict[str, Dict[str, int]] = {ZERO: {}}
         self._closed = True
         self._infeasible = False
+        #: the bound matrix may be referenced by another graph (or by the
+        #: closure cache); in-place mutation must materialize a private copy
+        self._shared = False
+        #: cached canonical fingerprint of the closed constraint system
+        self._fingerprint: Optional[tuple] = None
+        #: memoized ``equivalents`` results, shared between COW siblings and
+        #: replaced (never cleared in place) on semantic mutation
+        self._equiv_cache: Dict[tuple, frozenset] = {}
         self._stats = stats if stats is not None else global_stats()
         #: ablation switch reproducing the paper's prototype cost profile:
         #: re-run the full O(n^3) closure before every query instead of
         #: tracking closedness (Section IX's dominant cost)
         self.naive_closure = naive_closure
+        #: ablation switch restoring the pre-PR-2 lattice: eager deep copies
+        #: and no closure/equivalence caches (the property-test oracle)
+        self.naive_copy = naive_copy
+
+    # -- copy-on-write plumbing ------------------------------------------------
+
+    def _caching(self) -> bool:
+        """True when memoization is allowed (both ablations disable it)."""
+        return not (self.naive_closure or self.naive_copy)
+
+    def _materialize(self) -> None:
+        """Give this graph a private bound matrix before in-place mutation."""
+        if self._shared:
+            self._bound = {src: dict(dsts) for src, dsts in self._bound.items()}
+            self._shared = False
+            self._stats.record_cow_materialization()
+
+    def _invalidate(self) -> None:
+        """Constraint set changed: drop fingerprint and equivalence memos."""
+        self._fingerprint = None
+        # Re-bind instead of clearing: COW siblings still using the old
+        # semantics keep their (still-valid) shared memo dict.  This must
+        # happen even when the dict is currently empty — a sibling sharing
+        # it could populate it later with entries for the *old* semantics.
+        self._equiv_cache = {}
+
+    def _edge_items(self) -> tuple:
+        """Canonical tuple of all explicit constraints (sorted edge list)."""
+        items = [
+            (src, dst, c)
+            for src, dsts in self._bound.items()
+            for dst, c in dsts.items()
+        ]
+        items.sort()
+        return tuple(items)
+
+    def _rep_fingerprint(self) -> tuple:
+        """Representational fingerprint: feasibility, variables, edges."""
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self._infeasible,
+                tuple(sorted(self._bound)),
+                self._edge_items(),
+            )
+        return self._fingerprint
+
+    def fingerprint(self) -> tuple:
+        """Canonical fingerprint of the *closed* constraint system.
+
+        Two closed graphs are :meth:`equivalent_to` iff their fingerprints
+        are equal (untracked-but-unconstrained variables are ignored, like
+        the matrix comparison this replaces).  Closes on demand.
+        """
+        self._ensure_closed()
+        rep = self._rep_fingerprint()
+        return (rep[0], rep[2])
 
     # -- basics ---------------------------------------------------------------
 
     def copy(self) -> "ConstraintGraph":
-        """Deep copy sharing the stats sink."""
-        clone = ConstraintGraph(self._stats, self.naive_closure)
-        clone._bound = {src: dict(dsts) for src, dsts in self._bound.items()}
+        """Copy sharing the stats sink.
+
+        Copy-on-write by default: the bound matrix is shared until either
+        side mutates.  With ``naive_copy`` the pre-PR-2 eager deep copy is
+        performed instead.
+        """
+        clone = ConstraintGraph(
+            self._stats, self.naive_closure, naive_copy=self.naive_copy
+        )
+        if self.naive_copy:
+            clone._bound = {src: dict(dsts) for src, dsts in self._bound.items()}
+        else:
+            self._shared = True
+            clone._bound = self._bound
+            clone._shared = True
+            clone._fingerprint = self._fingerprint
+            clone._equiv_cache = self._equiv_cache
+            self._stats.record_cow_share()
         clone._closed = self._closed
         clone._infeasible = self._infeasible
         return clone
@@ -71,7 +207,12 @@ class ConstraintGraph:
     def add_var(self, name: str) -> None:
         """Track a variable (initially unconstrained)."""
         if name not in self._bound:
+            # no constraint is added: closedness and equivalence memos are
+            # unaffected, but the variable list (part of the representational
+            # fingerprint) grows and the matrix itself must be owned
+            self._materialize()
             self._bound[name] = {}
+            self._fingerprint = None
 
     def has_var(self, name: str) -> bool:
         """True iff the variable is tracked."""
@@ -88,11 +229,14 @@ class ConstraintGraph:
         if x == y:
             if c < 0:
                 self._infeasible = True
+                self._invalidate()
             return
         current = self._bound[x].get(y)
         if current is None or c < current:
+            self._materialize()
             self._bound[x][y] = c
             self._closed = False
+            self._invalidate()
 
     def add_upper(self, x: str, c: int) -> None:
         """Assert ``x <= c``."""
@@ -126,6 +270,7 @@ class ConstraintGraph:
         if not names:
             if const > 0:
                 self._infeasible = True
+                self._invalidate()
             return True
         if len(names) == 1:
             name = names[0]
@@ -165,53 +310,141 @@ class ConstraintGraph:
             self.close()
 
     def close(self) -> None:
-        """Full O(n^3) transitive closure (Floyd-Warshall), instrumented."""
+        """Full O(n^3) transitive closure (Floyd-Warshall), instrumented.
+
+        Memoized (outside the ablation modes) on the unclosed constraint
+        set: re-closing an already-seen system adopts the cached matrix
+        copy-on-write instead of re-running Floyd-Warshall.
+        """
+        caching = self._caching()
+        if caching:
+            key = ("full",) + self._rep_fingerprint()
+            hit = _CLOSURE_CACHE.get(key)
+            if hit is not None:
+                cached_bound, cached_infeasible, cached_rep = hit
+                self._bound = cached_bound
+                self._shared = True
+                self._infeasible = self._infeasible or cached_infeasible
+                self._closed = True
+                self._fingerprint = cached_rep
+                self._stats.record_cache_hit()
+                return
         names = [ZERO] + sorted(self.variables())
         index = {name: i for i, name in enumerate(names)}
         n = len(names)
+        use_numpy = (
+            caching and _np is not None and n >= _NUMPY_CLOSURE_MIN_VARS
+        )
         with _obs.span("cgraph.closure.full"), timed() as clock:
-            matrix: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
-            for i in range(n):
-                matrix[i][i] = 0
-            for src, dsts in self._bound.items():
-                i = index[src]
-                for dst, c in dsts.items():
-                    j = index[dst]
-                    if matrix[i][j] is None or c < matrix[i][j]:
-                        matrix[i][j] = c
-            for k in range(n):
-                row_k = matrix[k]
-                for i in range(n):
-                    via = matrix[i][k]
-                    if via is None:
-                        continue
-                    row_i = matrix[i]
-                    for j in range(n):
-                        step = row_k[j]
-                        if step is None:
-                            continue
-                        total = via + step
-                        if row_i[j] is None or total < row_i[j]:
-                            row_i[j] = total
-            infeasible = any(matrix[i][i] is not None and matrix[i][i] < 0 for i in range(n))
-            bound: Dict[str, Dict[str, int]] = {name: {} for name in names}
-            for i, src in enumerate(names):
-                for j, dst in enumerate(names):
-                    if i != j and matrix[i][j] is not None:
-                        bound[src][dst] = matrix[i][j]
+            if use_numpy:
+                # vectorized min-plus product; the naive ablation never takes
+                # this path, so the Section IX prototype cost model is intact
+                bound, infeasible = self._floyd_warshall_numpy(names, index, n)
+            else:
+                bound, infeasible = self._floyd_warshall_python(names, index, n)
         self._stats.record_full(n - 1, clock.elapsed)
         self._bound = bound
+        self._shared = False
         self._infeasible = self._infeasible or infeasible
         self._closed = True
+        self._fingerprint = None
+        if caching:
+            _cache_store(key, (bound, infeasible, self._rep_fingerprint()))
+            self._shared = True
+
+    def _floyd_warshall_python(
+        self, names: List[str], index: Dict[str, int], n: int
+    ) -> Tuple[Dict[str, Dict[str, int]], bool]:
+        """The paper prototype's straightforward O(n^3) closure loop."""
+        matrix: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = 0
+        for src, dsts in self._bound.items():
+            i = index[src]
+            for dst, c in dsts.items():
+                j = index[dst]
+                if matrix[i][j] is None or c < matrix[i][j]:
+                    matrix[i][j] = c
+        for k in range(n):
+            row_k = matrix[k]
+            for i in range(n):
+                via = matrix[i][k]
+                if via is None:
+                    continue
+                row_i = matrix[i]
+                for j in range(n):
+                    step = row_k[j]
+                    if step is None:
+                        continue
+                    total = via + step
+                    if row_i[j] is None or total < row_i[j]:
+                        row_i[j] = total
+        infeasible = any(
+            matrix[i][i] is not None and matrix[i][i] < 0 for i in range(n)
+        )
+        bound: Dict[str, Dict[str, int]] = {name: {} for name in names}
+        for i, src in enumerate(names):
+            row = matrix[i]
+            dsts = bound[src]
+            for j, dst in enumerate(names):
+                if i != j and row[j] is not None:
+                    dsts[dst] = row[j]
+        return bound, infeasible
+
+    def _floyd_warshall_numpy(
+        self, names: List[str], index: Dict[str, int], n: int
+    ) -> Tuple[Dict[str, Dict[str, int]], bool]:
+        """Vectorized min-plus closure (identical result to the loop)."""
+        inf = _np.inf
+        matrix = _np.full((n, n), inf)
+        _np.fill_diagonal(matrix, 0.0)
+        for src, dsts in self._bound.items():
+            i = index[src]
+            row = matrix[i]
+            for dst, c in dsts.items():
+                j = index[dst]
+                if c < row[j]:
+                    row[j] = c
+        for k in range(n):
+            _np.minimum(
+                matrix, matrix[:, k : k + 1] + matrix[k : k + 1, :], out=matrix
+            )
+        infeasible = bool((_np.diagonal(matrix) < 0).any())
+        rows = matrix.tolist()
+        bound: Dict[str, Dict[str, int]] = {name: {} for name in names}
+        for i, src in enumerate(names):
+            row = rows[i]
+            dsts = bound[src]
+            for j, dst in enumerate(names):
+                if i != j and row[j] != inf:
+                    dsts[dst] = int(row[j])
+        return bound, infeasible
 
     def close_incremental(self, x: str, y: str, c: int) -> None:
         """O(n^2) re-closure after adding the single constraint ``y <= x + c``.
 
         Precondition: the graph was closed before the constraint was added.
         Used by hot paths (assignment transfer); instrumented separately.
+        Memoized on ``(fingerprint, x, y, c)``: re-deriving the same closed
+        system plus the same single constraint adopts the cached matrix
+        copy-on-write.
         """
         if self._infeasible:
             return
+        key = None
+        if self._closed and self._caching():
+            key = ("incr", self._rep_fingerprint(), x, y, c)
+            hit = _CLOSURE_CACHE.get(key)
+            if hit is not None:
+                cached_bound, cached_infeasible, cached_rep = hit
+                self._bound = cached_bound
+                self._shared = True
+                self._infeasible = cached_infeasible
+                self._closed = True
+                self._fingerprint = cached_rep
+                self._equiv_cache = {}
+                self._stats.record_cache_hit()
+                return
         self.add_var(x)
         self.add_var(y)
         names = [ZERO] + sorted(self.variables())
@@ -220,12 +453,17 @@ class ConstraintGraph:
             if existing is not None and existing <= c:
                 self._closed = True
                 self._stats.record_incremental(len(names) - 1, clock.elapsed)
+                self._memoize_incremental(key)
                 return
+            self._materialize()
+            self._invalidate()
             self._bound[x][y] = c
             if x == y:
                 if c < 0:
                     self._infeasible = True
+                self._closed = True
                 self._stats.record_incremental(len(names) - 1, clock.elapsed)
+                self._memoize_incremental(key)
                 return
             for u in names:
                 to_x = 0 if u == x else self._bound[u].get(x)
@@ -245,6 +483,14 @@ class ConstraintGraph:
                         self._bound[u][v] = total
         self._closed = True
         self._stats.record_incremental(len(names) - 1, clock.elapsed)
+        self._memoize_incremental(key)
+
+    def _memoize_incremental(self, key: Optional[tuple]) -> None:
+        """Store the just-computed incremental closure under ``key``."""
+        if key is None:
+            return
+        _cache_store(key, (self._bound, self._infeasible, self._rep_fingerprint()))
+        self._shared = True
 
     # -- queries ---------------------------------------------------------------
 
@@ -355,38 +601,91 @@ class ConstraintGraph:
 
         ``expr`` must be of shape ``var + c0`` or a constant; this is the
         bound-equivalence-set operation the Section VII process-set
-        representation relies on.
+        representation relies on.  Results are memoized per closed graph
+        (the memo is shared across copy-on-write siblings, so enrichment of
+        many states over the same underlying graph pays for one scan).
         """
         self._ensure_closed()
+        key = None
+        cache = None
+        if self._caching():
+            vocab = (
+                vocabulary
+                if isinstance(vocabulary, frozenset)
+                else frozenset(vocabulary)
+            )
+            key = (expr, vocab)
+            cache = self._equiv_cache
+            if not cache:
+                # adopt the registry dict shared by every graph with these
+                # semantics; a mutation re-binds to a fresh dict, so the next
+                # query adopts the dict of the new fingerprint
+                if len(_EQUIV_REGISTRY) >= _CLOSURE_CACHE_MAX:
+                    _EQUIV_REGISTRY.clear()
+                cache = self._equiv_cache = _EQUIV_REGISTRY.setdefault(
+                    self.fingerprint(), self._equiv_cache
+                )
+            hit = cache.get(key)
+            if hit is not None:
+                return set(hit)
+            vocabulary = vocab
+        pairs = cache.get(_EQUIV_PAIRS_KEY) if cache is not None else None
+        if pairs is None:
+            pairs = self._equality_pairs()
+            if cache is not None:
+                cache[_EQUIV_PAIRS_KEY] = pairs
+        result = self._compute_equivalents(expr, vocabulary, pairs)
+        if key is not None:
+            cache[key] = frozenset(result)
+        return result
+
+    def _equality_pairs(self) -> Dict[str, List[Tuple[str, int]]]:
+        """``base -> [(other, forward)]`` with ``other == base + forward``.
+
+        Derived from the closed matrix (an equality is a pair of opposite
+        tight difference edges) once per semantics and memoized in the
+        shared equivalence cache: every ``equivalents`` query then walks
+        only the (tiny) equality class of its base variable instead of the
+        whole vocabulary.
+        """
+        pairs: Dict[str, List[Tuple[str, int]]] = {}
+        bound = self._bound
+        for base, row in bound.items():
+            entries = [
+                (other, forward)
+                for other, forward in row.items()
+                if bound.get(other, {}).get(base) == -forward
+            ]
+            if entries:
+                pairs[base] = entries
+        return pairs
+
+    def _compute_equivalents(
+        self,
+        expr: LinearExpr,
+        vocabulary: Iterable[str],
+        pairs: Dict[str, List[Tuple[str, int]]],
+    ) -> Set[LinearExpr]:
         result: Set[LinearExpr] = {expr}
         if self._infeasible:
             return result
         split = expr.split_var_plus_const()
         if split is not None:
             base, offset = split
-            if not self.has_var(base):
-                return result
-            value = self.const_value(base)
-            if value is not None:
-                result.add(LinearExpr.const(value + offset))
-            for other in vocabulary:
-                if other == base or not self.has_var(other):
-                    continue
-                forward = self.diff_bound(base, other)
-                backward = self.diff_bound(other, base)
-                if forward is not None and backward is not None and forward == -backward:
+            for other, forward in pairs.get(base, ()):
+                if other == ZERO:
+                    # ZERO == base + forward  =>  expr == offset - forward
+                    result.add(LinearExpr.const(offset - forward))
+                elif other in vocabulary:
                     # other == base + forward  =>  expr == other + offset - forward
-                    result.add(LinearExpr.var(other) + (offset - forward))
+                    result.add(LinearExpr._raw(offset - forward, ((other, 1),)))
             return result
         constant = expr.as_constant()
         if constant is not None:
-            for other in vocabulary:
-                if not self.has_var(other):
-                    continue
-                value = self.const_value(other)
-                if value is not None:
-                    # other == value  =>  constant == other + (constant - value)
-                    result.add(LinearExpr.var(other) + (constant - value))
+            for other, forward in pairs.get(ZERO, ()):
+                # other == forward  =>  constant == other + (constant - forward)
+                if other in vocabulary:
+                    result.add(LinearExpr._raw(constant - forward, ((other, 1),)))
         return result
 
     # -- transfer ---------------------------------------------------------------
@@ -397,6 +696,8 @@ class ConstraintGraph:
         if name not in self._bound:
             self.add_var(name)
             return
+        self._materialize()
+        self._invalidate()
         self._bound[name] = {}
         for src, dsts in self._bound.items():
             dsts.pop(name, None)
@@ -407,6 +708,8 @@ class ConstraintGraph:
         self._ensure_closed()
         if name not in self._bound:
             return
+        self._materialize()
+        self._invalidate()
         del self._bound[name]
         for dsts in self._bound.values():
             dsts.pop(name, None)
@@ -415,6 +718,10 @@ class ConstraintGraph:
         """Project several variables out."""
         self._ensure_closed()
         doomed = set(names)
+        if not any(name in self._bound for name in doomed):
+            return
+        self._materialize()
+        self._invalidate()
         for name in doomed:
             self._bound.pop(name, None)
         for dsts in self._bound.values():
@@ -448,6 +755,8 @@ class ConstraintGraph:
         if base == target:
             # x := x + c  — shift every bound that mentions x
             self.add_var(target)
+            self._materialize()
+            self._invalidate()
             for src, dsts in self._bound.items():
                 if src == target:
                     continue
@@ -470,6 +779,8 @@ class ConstraintGraph:
             rn(src): {rn(dst): c for dst, c in dsts.items()}
             for src, dsts in self._bound.items()
         }
+        self._shared = False
+        self._invalidate()
 
     def copy_namespace_from(
         self, source_vars: Iterable[str], mapping: Mapping[str, str]
@@ -509,7 +820,7 @@ class ConstraintGraph:
             return other.copy()
         if other._infeasible:
             return self.copy()
-        result = ConstraintGraph(self._stats)
+        result = ConstraintGraph(self._stats, naive_copy=self.naive_copy)
         for name in self.variables() | other.variables():
             result.add_var(name)
         for src, dsts in self._bound.items():
@@ -540,7 +851,7 @@ class ConstraintGraph:
             return newer.copy()
         if newer._infeasible:
             return self.copy()
-        result = ConstraintGraph(self._stats)
+        result = ConstraintGraph(self._stats, naive_copy=self.naive_copy)
         for name in self.variables() | newer.variables():
             result.add_var(name)
         for src, dsts in self._bound.items():
@@ -555,21 +866,26 @@ class ConstraintGraph:
         return result
 
     def equivalent_to(self, other: "ConstraintGraph") -> bool:
-        """Semantic equality of two constraint graphs (via closures)."""
-        self._ensure_closed()
-        other._ensure_closed()
+        """Semantic equality of two constraint graphs.
+
+        Compares cached canonical fingerprints of the closed systems — a
+        hash comparison instead of two fresh closures plus a matrix walk.
+        Already-closed graphs (the common case: both sides of an engine
+        fixed-point check) are never re-closed, even under the
+        ``naive_closure`` ablation, which used to run two full O(n^3)
+        closures per call.
+        """
+        for graph in (self, other):
+            if not graph._closed and not graph._infeasible:
+                graph.close()
         if self._infeasible or other._infeasible:
             return self._infeasible == other._infeasible
-        names = self.variables() | other.variables() | {ZERO}
-        for x in names:
-            for y in names:
-                if x == y:
-                    continue
-                mine = self._bound.get(x, {}).get(y)
-                theirs = other._bound.get(x, {}).get(y)
-                if mine != theirs:
-                    return False
-        return True
+        if self._bound is other._bound:
+            return True  # COW siblings, no mutation since the share
+        # compare only the constraint sets: variables that are tracked but
+        # unconstrained are invisible, exactly like the matrix walk this
+        # replaces
+        return self._rep_fingerprint()[2] == other._rep_fingerprint()[2]
 
     def __repr__(self) -> str:
         if self._infeasible:

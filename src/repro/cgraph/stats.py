@@ -32,6 +32,12 @@ class ClosureStats:
     incremental_calls: int = 0
     incremental_vars: List[int] = field(default_factory=list)
     incremental_time: float = 0.0
+    #: closures answered from the memo table instead of being executed
+    cache_hits: int = 0
+    #: copy-on-write events: copies that shared the bound matrix, and
+    #: shared matrices that had to be materialized before a mutation
+    cow_shares: int = 0
+    cow_materializations: int = 0
     #: wall time of everything else, filled in by harnesses that time the
     #: enclosing analysis
     total_time: float = 0.0
@@ -53,6 +59,21 @@ class ClosureStats:
         _obs.incr("cgraph.closure.incremental.calls")
         _obs.observe("cgraph.closure.incremental.vars", num_vars)
         _obs.observe("cgraph.closure.incremental.time", elapsed)
+
+    def record_cache_hit(self) -> None:
+        """Record one closure answered from the memo table (no execution)."""
+        self.cache_hits += 1
+        _obs.incr("cgraph.closure.cache_hits")
+
+    def record_cow_share(self) -> None:
+        """Record one copy that shared its bound matrix copy-on-write."""
+        self.cow_shares += 1
+        _obs.incr("cgraph.cow.shares")
+
+    def record_cow_materialization(self) -> None:
+        """Record one shared matrix privatized ahead of a mutation."""
+        self.cow_materializations += 1
+        _obs.incr("cgraph.cow.materializations")
 
     @property
     def closure_time(self) -> float:
@@ -83,6 +104,9 @@ class ClosureStats:
         self.incremental_calls = 0
         self.incremental_vars = []
         self.incremental_time = 0.0
+        self.cache_hits = 0
+        self.cow_shares = 0
+        self.cow_materializations = 0
         self.total_time = 0.0
 
     def report(self) -> str:
@@ -94,6 +118,12 @@ class ClosureStats:
             f"avg {self.avg_incremental_vars():.1f} vars, "
             f"{self.incremental_time:.4f}s",
         ]
+        if self.cache_hits or self.cow_shares:
+            lines.append(
+                f"closure cache hits:            {self.cache_hits}; "
+                f"COW shares/materializations:   {self.cow_shares}/"
+                f"{self.cow_materializations}"
+            )
         if self.total_time > 0:
             lines.append(
                 f"closure share of total time:   {100 * self.closure_share():.1f}% "

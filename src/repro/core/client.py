@@ -201,3 +201,13 @@ class ClientAnalysis:
     def states_equal(self, left: ClientState, right: ClientState) -> bool:
         """Fixed-point test."""
         raise NotImplementedError
+
+    def state_fingerprint(self, state: ClientState):
+        """Hashable semantic identity of ``state``, or None.
+
+        Fingerprint equality must imply ``states_equal`` — the engine uses
+        it to hash-cons canonicalized states, so two states with the same
+        fingerprint collapse to one object.  Returning None (the default)
+        opts the state out of interning.
+        """
+        return None

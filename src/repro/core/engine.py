@@ -18,13 +18,30 @@ successors by, in priority order:
 Successor states are merged into previously-visited pCFG nodes via the
 client's ``join``; nodes revisited more than ``widen_after`` times are
 widened so loops converge to their invariant.
+
+Scheduling and sharing
+----------------------
+
+The worklist is a priority queue keyed by reverse-postorder over the CFG:
+a configuration's priority is the sorted tuple of RPO ranks of its
+process-set locations, so upstream configurations are stabilized before
+their downstream consumers and loop bodies settle before loop exits are
+re-examined.  Ties break FIFO.  A membership set suppresses duplicate
+enqueues (counted as ``engine.worklist.dedup``).
+
+Canonicalized states are *interned* in a per-run hash-consing table keyed
+by the client's ``state_fingerprint``: when a newly produced state is
+semantically identical to one already seen, the existing object is reused
+(``engine.intern.hits``), which turns the client's join / fixed-point
+equality checks into pointer comparisons on the hot revisit path.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import count
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.client import (
     Alternatives,
@@ -90,10 +107,16 @@ class PCFGEngine:
         cfg: CFG,
         client: ClientAnalysis,
         limits: Optional[EngineLimits] = None,
+        intern_states: bool = True,
     ):
         self.cfg = cfg
         self.client = client
         self.limits = limits or EngineLimits()
+        self.intern_states = intern_states
+        #: per-run hash-consing table: state fingerprint -> canonical state
+        self._intern: Dict[Any, ClientState] = {}
+        #: CFG node id -> reverse-postorder rank (worklist priority domain)
+        self._rpo: Dict[int, int] = cfg.rpo_index()
 
     # -- driving -----------------------------------------------------------------
 
@@ -114,13 +137,21 @@ class PCFGEngine:
 
         states: Dict[PCFGNodeKey, ClientState] = {}
         visits: Dict[PCFGNodeKey, int] = {}
-        worklist: deque = deque()
-        queued = set()
+        self._intern = {}
+
+        # Priority worklist: process configurations in reverse-postorder of
+        # their CFG locations so predecessors stabilize before successors.
+        # The sequence number breaks priority ties FIFO.
+        worklist: List[Tuple[tuple, int, PCFGNodeKey]] = []
+        pending = set()
+        seq = count()
 
         def enqueue(key: PCFGNodeKey) -> None:
-            if key not in queued:
-                worklist.append(key)
-                queued.add(key)
+            if key in pending:
+                obs.incr("engine.worklist.dedup")
+                return
+            pending.add(key)
+            heapq.heappush(worklist, (self._priority(key), next(seq), key))
 
         entry_key = self._canonicalize_into(
             states, visits, None, [self.cfg.entry], initial, "entry", "", result
@@ -140,8 +171,8 @@ class PCFGEngine:
                     f"engine step limit {self.limits.max_steps} exceeded"
                 )
                 break
-            key = worklist.popleft()
-            queued.discard(key)
+            _, _, key = heapq.heappop(worklist)
+            pending.discard(key)
             visits[key] = visits.get(key, 0) + 1
             state = states[key]
             try:
@@ -379,10 +410,13 @@ class PCFGEngine:
         else:
             result.explored.add_node(key)
 
+        state = self._interned(state)
         if key not in states:
             states[key] = state
             return key
         old = states[key]
+        if old is state:
+            return None  # hash-consed identical state: fixed point, no join
         with obs.span("engine.join"):
             combined = client.join(old, state)
         obs.incr("engine.joins")
@@ -395,10 +429,37 @@ class PCFGEngine:
             if widened is None:
                 raise GiveUp(f"widening lost process-set bounds at {key}")
             combined = widened
-        if client.states_equal(old, combined):
+        combined = self._interned(combined)
+        if old is combined or client.states_equal(old, combined):
             return None  # fixed point at this node
         states[key] = combined
         return key
+
+    def _priority(self, key: PCFGNodeKey) -> tuple:
+        """Worklist priority of a pCFG node: the sorted tuple of RPO ranks
+        of its CFG locations (lower = scheduled earlier)."""
+        default_rank = len(self._rpo)
+        return tuple(sorted(self._rpo.get(nid, default_rank) for nid in key[0]))
+
+    def _interned(self, state: ClientState) -> ClientState:
+        """Hash-cons ``state``: reuse the canonical object for its fingerprint.
+
+        Clients that cannot fingerprint their states (``state_fingerprint``
+        returns None) opt out per state; ``intern_states=False`` disables the
+        table entirely.
+        """
+        if not self.intern_states:
+            return state
+        fp = self.client.state_fingerprint(state)
+        if fp is None:
+            return state
+        cached = self._intern.get(fp)
+        if cached is not None:
+            obs.incr("engine.intern.hits")
+            return cached
+        self._intern[fp] = state
+        obs.incr("engine.intern.misses")
+        return state
 
     # -- CFG helpers --------------------------------------------------------------
 

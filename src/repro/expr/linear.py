@@ -13,6 +13,7 @@ usable as dictionary keys and set members.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
 Scalar = int
@@ -37,7 +38,12 @@ class LinearExpr:
             for name, coeff in coeffs.items():
                 if coeff != 0:
                     clean[name] = int(coeff)
-        self._coeffs: Tuple[Tuple[str, int], ...] = tuple(sorted(clean.items()))
+        # single-variable expressions (the overwhelmingly common shape on the
+        # enrichment hot path) need no sort
+        if len(clean) > 1:
+            self._coeffs: Tuple[Tuple[str, int], ...] = tuple(sorted(clean.items()))
+        else:
+            self._coeffs = tuple(clean.items())
         self._const = int(const)
         self._hash = hash((self._const, self._coeffs))
 
@@ -45,13 +51,23 @@ class LinearExpr:
 
     @classmethod
     def const(cls, value: int) -> "LinearExpr":
-        """The constant expression ``value``."""
-        return cls(value)
+        """The constant expression ``value`` (interned: instances are
+        immutable, so the hot shapes are shared)."""
+        return _cached_const(value)
+
+    @classmethod
+    def _raw(cls, const: int, coeffs: Tuple[Tuple[str, int], ...]) -> "LinearExpr":
+        """Internal: build from an already-canonical (sorted, non-zero) tuple."""
+        self = cls.__new__(cls)
+        self._coeffs = coeffs
+        self._const = const
+        self._hash = hash((const, coeffs))
+        return self
 
     @classmethod
     def var(cls, name: str, coeff: int = 1) -> "LinearExpr":
-        """The expression ``coeff * name``."""
-        return cls(0, {name: coeff})
+        """The expression ``coeff * name`` (interned, like :meth:`const`)."""
+        return _cached_var(name, coeff)
 
     @classmethod
     def coerce(cls, value: ExprLike) -> "LinearExpr":
@@ -112,6 +128,11 @@ class LinearExpr:
     # -- arithmetic --------------------------------------------------------
 
     def __add__(self, other: ExprLike) -> "LinearExpr":
+        if type(other) is int:
+            # hot path (shifts, offsets): coefficients are unchanged
+            if other == 0:
+                return self
+            return LinearExpr._raw(self._const + other, self._coeffs)
         other = LinearExpr.coerce(other)
         coeffs = dict(self._coeffs)
         for name, coeff in other._coeffs:
@@ -124,6 +145,8 @@ class LinearExpr:
         return LinearExpr(-self._const, {name: -coeff for name, coeff in self._coeffs})
 
     def __sub__(self, other: ExprLike) -> "LinearExpr":
+        if type(other) is int:
+            return self + (-other)
         return self + (-LinearExpr.coerce(other))
 
     def __rsub__(self, other: ExprLike) -> "LinearExpr":
@@ -141,6 +164,15 @@ class LinearExpr:
 
     def substitute(self, bindings: Mapping[str, ExprLike]) -> "LinearExpr":
         """Replace each bound variable with its expression."""
+        if not self._coeffs:
+            return self
+        if len(self._coeffs) == 1:
+            # hot shape: ``var + c`` with a single substitution
+            name, coeff = self._coeffs[0]
+            if name not in bindings:
+                return self
+            if coeff == 1:
+                return LinearExpr.coerce(bindings[name]) + self._const
         result = LinearExpr(self._const)
         for name, coeff in self._coeffs:
             if name in bindings:
@@ -188,6 +220,16 @@ class LinearExpr:
         for part in parts[1:]:
             text += f" - {part[1:]}" if part.startswith("-") else f" + {part}"
         return text
+
+
+@lru_cache(maxsize=4096)
+def _cached_const(value: int) -> LinearExpr:
+    return LinearExpr(value)
+
+
+@lru_cache(maxsize=4096)
+def _cached_var(name: str, coeff: int) -> LinearExpr:
+    return LinearExpr(0, {name: coeff})
 
 
 def sum_exprs(exprs: Iterable[ExprLike]) -> LinearExpr:

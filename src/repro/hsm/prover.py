@@ -38,6 +38,10 @@ class HSMProver:
         self.max_depth = max_depth
         #: proof statistics (states explored per query), for the benches
         self.explored_counts = []
+        #: memoized verdicts: (fingerprint(a), fingerprint(b), set_preserving)
+        #: -> bool.  Sound per instance: verdicts depend only on the operand
+        #: HSMs and this prover's invariant system and search budget.
+        self._verdicts = {}
 
     # -- queries ---------------------------------------------------------------
 
@@ -67,8 +71,14 @@ class HSMProver:
     # -- search -----------------------------------------------------------------
 
     def _search(self, a: Base, b: Base, set_preserving: bool) -> bool:
+        key = (_fingerprint(a), _fingerprint(b), set_preserving)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            obs.incr("hsm.prove.cache_hits")
+            return cached
         with obs.span("hsm.prove"):
             found = self._search_impl(a, b, set_preserving)
+        self._verdicts[key] = found
         obs.incr("hsm.proof.attempts")
         obs.incr("hsm.proof.successes" if found else "hsm.proof.failures")
         if self.explored_counts:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cgraph.constraint_graph import clear_closure_caches
 from repro.cgraph.stats import reset_global_stats
 from repro.lang import build_cfg, programs
 from repro.obs import recorder as obs_recorder
@@ -11,11 +12,14 @@ from repro.obs import recorder as obs_recorder
 
 @pytest.fixture(autouse=True)
 def _reset_observability():
-    """Isolate tests from each other's closure stats and obs recorder state."""
+    """Isolate tests from each other's closure stats, memo tables, and obs
+    recorder state."""
     reset_global_stats()
+    clear_closure_caches()
     obs_recorder.reset()
     yield
     reset_global_stats()
+    clear_closure_caches()
     obs_recorder.reset()
 
 

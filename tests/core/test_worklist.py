@@ -1,0 +1,83 @@
+"""The priority worklist and state-interning layer of the pCFG engine."""
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core.engine import PCFGEngine
+from repro.lang import build_cfg, programs
+from repro.obs import recorder as obs
+
+
+def _engine(name: str, **kwargs) -> PCFGEngine:
+    cfg = build_cfg(programs.get(name).parse())
+    return PCFGEngine(cfg, SimpleSymbolicClient(), **kwargs)
+
+
+class TestPriority:
+    def test_priority_is_sorted_rpo_ranks(self):
+        engine = _engine("pingpong")
+        rpo = engine.cfg.rpo_index()
+        nodes = sorted(rpo, key=rpo.get)
+        early, late = nodes[0], nodes[-1]
+        assert engine._priority(((early,), ())) < engine._priority(((late,), ()))
+        # order inside the location tuple must not matter
+        assert engine._priority(((late, early), ())) == engine._priority(
+            ((early, late), ())
+        )
+
+    def test_upstream_configurations_run_first(self):
+        engine = _engine("pingpong")
+        rpo = engine.cfg.rpo_index()
+        entry = engine.cfg.entry
+        others = [nid for nid in rpo if nid != entry]
+        assert all(
+            engine._priority(((entry,), ())) <= engine._priority(((nid,), ()))
+            for nid in others
+        )
+
+    def test_dedup_counter_fires(self):
+        with obs.recording() as rec:
+            result = _engine("exchange_with_root").run()
+            counters = rec.snapshot()["counters"]
+        assert not result.gave_up
+        assert counters.get("engine.worklist.dedup", 0) > 0
+
+
+class TestInterning:
+    def test_intern_hits_on_exchange(self):
+        with obs.recording() as rec:
+            result = _engine("exchange_with_root").run()
+            counters = rec.snapshot()["counters"]
+        assert not result.gave_up
+        assert counters.get("engine.intern.hits", 0) > 0
+        assert counters.get("engine.intern.misses", 0) > 0
+
+    def test_interned_states_are_shared_objects(self):
+        engine = _engine("exchange_with_root")
+        result = engine.run()
+        assert not result.gave_up
+        # the table holds one canonical object per fingerprint
+        assert len(engine._intern) > 0
+        fingerprints = [
+            engine.client.state_fingerprint(s) for s in engine._intern.values()
+        ]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_intern_off_same_matches(self):
+        on = _engine("exchange_with_root", intern_states=True).run()
+        off = _engine("exchange_with_root", intern_states=False).run()
+        assert on.gave_up == off.gave_up is False
+        assert set(on.matches) == set(off.matches)
+
+    def test_state_fingerprint_equality_implies_states_equal(self):
+        client = SimpleSymbolicClient()
+        cfg = build_cfg(programs.get("exchange_with_root").parse())
+        engine = PCFGEngine(cfg, client)
+        result = engine.run()
+        assert not result.gave_up
+        states = list(result.node_states.values())
+        by_fp = {}
+        for state in states:
+            fp = client.state_fingerprint(state)
+            if fp in by_fp:
+                assert client.states_equal(by_fp[fp], state)
+            else:
+                by_fp[fp] = state

@@ -159,3 +159,28 @@ class TestNegativeMatching:
         _, prover = square_setup()
         prover.set_equal(HSM.of(0, 4, 1), HSM.of(0, 4, 1))
         assert prover.explored_counts
+
+
+class TestVerdictCache:
+    def test_repeat_queries_hit_the_cache(self):
+        from repro.obs import recorder as obs
+
+        _, prover = square_setup()
+        a = HSM.of(HSM.of(0, 2, 3), 3, 1)
+        b = HSM.of(0, 6, 1)
+        first = prover.set_equal(a, b)
+        explored = len(prover.explored_counts)
+        with obs.recording() as rec:
+            assert prover.set_equal(a, b) == first
+            counters = rec.snapshot()["counters"]
+        assert counters.get("hsm.prove.cache_hits", 0) > 0
+        # the cached verdict is answered without another search
+        assert len(prover.explored_counts) == explored
+
+    def test_cache_distinguishes_set_and_seq(self):
+        _, prover = square_setup()
+        a = HSM.of(HSM.of(0, 2, 3), 3, 1)
+        b = HSM.of(0, 6, 1)
+        assert not prover.seq_equal(a, b)
+        assert prover.set_equal(a, b)
+        assert not prover.seq_equal(a, b)
