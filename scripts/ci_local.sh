@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Local dry-run of .github/workflows/ci.yml (for machines without `act`).
 #
-# Runs the same three jobs, in the same order, with the same commands:
+# Runs the same jobs, in the same order, with the same commands:
 #   lint        -> ruff check src tests benchmarks examples   (skipped if
 #                  ruff is not installed; CI installs it from PyPI)
 #   test        -> PYTHONPATH=src python -m pytest -x -q      (one local
 #                  interpreter stands in for the 3.9-3.12 matrix)
+#   chaos       -> the fault-injection suite at a fixed seed (CHAOS_SEED,
+#                  default 1337, printed so failures reproduce exactly)
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -37,6 +39,13 @@ export PYTHONPATH
 
 step "test (python $(python -c 'import sys; print("%d.%d" % sys.version_info[:2])'))" \
   python -m pytest -x -q
+CHAOS_SEED="${CHAOS_SEED:-1337}"
+export CHAOS_SEED
+echo
+echo "(chaos seed: CHAOS_SEED=${CHAOS_SEED}; reproduce failures with" \
+  "CHAOS_SEED=${CHAOS_SEED} pytest tests/core/test_chaos.py -m chaos)"
+step "chaos: fault-injection suite" \
+  python -m pytest tests/core/test_chaos.py -m chaos -q
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json

@@ -42,6 +42,7 @@ from repro.core.client import (
     MatchResult,
     Split,
 )
+from repro.core.diagnostics import GIVEUP_PSET_BOUND
 from repro.core.errors import GiveUp
 from repro.expr.linear import LinearExpr
 from repro.lang.ast import (
@@ -317,7 +318,8 @@ class SimpleSymbolicClient(ClientAnalysis):
             if not keep:
                 raise GiveUp(
                     f"process-set bound lost its last expression when "
-                    f"{_pretty(target)} was overwritten"
+                    f"{_pretty(target)} was overwritten",
+                    code=GIVEUP_PSET_BOUND,
                 )
             return Bound(keep)
 
@@ -1076,7 +1078,8 @@ class SimpleSymbolicClient(ClientAnalysis):
             if not exprs:
                 raise GiveUp(
                     "a process-set bound could not be re-expressed when its "
-                    "defining namespace was merged away"
+                    "defining namespace was merged away",
+                    code=GIVEUP_PSET_BOUND,
                 )
             return Bound(exprs)
 

@@ -21,6 +21,10 @@ from repro.analyses.cartesian import CartesianClient
 from repro.analyses.constprop import propagate_constants
 from repro.analyses.patterns import classify_topology
 from repro.analyses.simple_symbolic import analyze_program
+from repro.core import diagnostics
+from repro.core.driver import analyze_with_fallback
+from repro.core.engine import EngineLimits
+from repro.core.errors import GiveUp, MalformedCFG
 from repro.lang import parse, programs
 from repro.obs import profile_program
 from repro.runtime import DeadlockError
@@ -61,7 +65,51 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-validate", action="store_true", help="skip the concrete cross-check"
     )
+    parser.add_argument(
+        "--fallback", action="store_true",
+        help="on a non-exact result, climb the precision-fallback ladder "
+             "(escalated limits, then simpler clients, then the MPI-CFG "
+             "baseline) and report which rung answered",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="paper-fidelity mode: abort the whole analysis on the first "
+             "failure instead of localizing T to one pCFG node",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="wall-clock budget for the engine run, in seconds",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="engine step budget (default: 20000)",
+    )
+    parser.add_argument(
+        "--max-state-bytes", type=int, default=None, metavar="BYTES",
+        help="retained-state memory budget for the engine run",
+    )
     return parser
+
+
+def _engine_limits(args) -> EngineLimits:
+    limits = EngineLimits(strict=args.strict, deadline_sec=args.deadline,
+                          max_state_bytes=args.max_state_bytes)
+    if args.max_steps is not None:
+        limits.max_steps = args.max_steps
+    return limits
+
+
+def _print_degraded(result) -> None:
+    """Report a non-exact engine result: reason, diagnostics, and whatever
+    sound partial topology survived."""
+    print(f"analysis gave up (T): {result.give_up_reason}")
+    print(f"confidence: {result.confidence} "
+          f"({diagnostics.summarize(result.diagnostics)})")
+    for diag in result.diagnostics:
+        print(f"  {diag.format()}")
+    if result.matches:
+        print("partial communication topology (sound, possibly incomplete):")
+        print(result.topology.describe())
 
 
 def build_profile_parser() -> argparse.ArgumentParser:
@@ -100,6 +148,19 @@ def profile_main(argv) -> int:
 
 
 def main(argv=None) -> int:
+    """Top-level entry point: GiveUp-family failures exit nonzero with a
+    one-line message, never a traceback."""
+    try:
+        return _main(argv)
+    except MalformedCFG as exc:
+        print(f"error: malformed CFG: {exc}", file=sys.stderr)
+        return 1
+    except GiveUp as exc:
+        print(f"error: analysis gave up (T): {exc.reason}", file=sys.stderr)
+        return 1
+
+
+def _main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
@@ -130,11 +191,26 @@ def main(argv=None) -> int:
             )
         return 0
 
-    client = CartesianClient()
-    result, cfg, client = analyze_program(program, client)
-    if result.gave_up:
-        print(f"analysis gave up (T): {result.give_up_reason}")
-        return 1
+    limits = _engine_limits(args)
+    if args.fallback:
+        report = analyze_with_fallback(program, limits=limits)
+        for outcome in report.rungs:
+            print(f"rung {outcome.describe()}")
+        print(f"answer from rung: {report.rung_name}")
+        result, cfg = report.result, report.cfg
+        if result.confidence != diagnostics.EXACT:
+            if result.diagnostics:
+                _print_degraded(result)
+            else:
+                # the baseline rung: total but over-approximate
+                print("communication topology (baseline over-approximation):")
+                print(result.topology.describe())
+            return 1
+    else:
+        result, cfg, client = analyze_program(program, CartesianClient(), limits)
+        if result.confidence != diagnostics.EXACT:
+            _print_degraded(result)
+            return 1
     print("communication topology:")
     print(result.topology.describe())
     if not args.no_validate:

@@ -36,7 +36,27 @@ from repro.core.client import (
     MatchResult,
     Split,
 )
+from repro.core.diagnostics import (
+    ALL_CODES,
+    BUDGET_DEADLINE,
+    BUDGET_MEMORY,
+    BUDGET_STEPS,
+    CFG_MALFORMED,
+    CLIENT_FAULT,
+    GIVEUP_NO_MATCH,
+    GIVEUP_PSET_BOUND,
+    Diagnostic,
+    summarize,
+)
+from repro.core.driver import (
+    FallbackReport,
+    Rung,
+    RungOutcome,
+    analyze_with_fallback,
+    default_ladder,
+)
 from repro.core.engine import AnalysisResult, EngineLimits, PCFGEngine
+from repro.core.errors import GiveUp, MalformedCFG
 from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
 from repro.core.topology import MatchRecord, StaticTopology
 
@@ -55,4 +75,23 @@ __all__ = [
     "ExploredPCFG",
     "PCFGEdge",
     "PCFGNodeKey",
+    # resilience layer
+    "Diagnostic",
+    "summarize",
+    "GiveUp",
+    "MalformedCFG",
+    "ALL_CODES",
+    "GIVEUP_NO_MATCH",
+    "GIVEUP_PSET_BOUND",
+    "CLIENT_FAULT",
+    "BUDGET_STEPS",
+    "BUDGET_DEADLINE",
+    "BUDGET_MEMORY",
+    "CFG_MALFORMED",
+    # fallback ladder
+    "analyze_with_fallback",
+    "default_ladder",
+    "FallbackReport",
+    "Rung",
+    "RungOutcome",
 ]

@@ -1,0 +1,189 @@
+"""Precision-fallback ladder: always return the best *sound* answer.
+
+The engine's resilience layer guarantees ``run()`` never raises, but a
+degraded (``partial`` / ``gave_up``) result still leaves precision on the
+table.  This driver climbs down a ladder of progressively cheaper-but-
+wider analyses until one produces an ``exact`` answer:
+
+1. ``cartesian`` — the Section VIII Cartesian/HSM client at the caller's
+   limits (the most precise client this repository has);
+2. ``cartesian-escalated`` — same client with doubled ``widen_after``,
+   ``max_psets`` and ``max_steps`` (loses less precision in loops and
+   survives deeper splits, at more cost);
+3. ``simple-symbolic`` — the Section VII affine client at the escalated
+   limits (simpler machinery; immune to faults in the HSM layer);
+4. ``mpi-cfg`` — the Section II MPI-CFG baseline.  Never gives up: every
+   send is connected to every receive that sequential facts cannot rule
+   out.  Sound by construction, over-approximate by design, so the
+   synthesized result is marked ``confidence="partial"``.
+
+The first rung whose result is ``exact`` wins; if none is, the baseline
+rung is chosen (it always completes), and the report keeps every attempted
+rung's outcome so callers can still inspect the sharper partial results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.core import diagnostics
+from repro.core.engine import AnalysisResult, EngineLimits
+from repro.core.topology import MatchRecord, StaticTopology
+from repro.obs import recorder as obs
+
+RungRunner = Callable[[object, EngineLimits], Tuple[AnalysisResult, object, object]]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One level of the fallback ladder."""
+
+    name: str
+    run: RungRunner
+    limits: EngineLimits
+
+
+@dataclass
+class RungOutcome:
+    """What one attempted rung produced."""
+
+    name: str
+    result: AnalysisResult
+    cfg: object
+    client: object
+
+    @property
+    def confidence(self) -> str:
+        return self.result.confidence
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.result.confidence} "
+            f"({diagnostics.summarize(self.result.diagnostics)}, "
+            f"{len(self.result.matches)} matches)"
+        )
+
+
+@dataclass
+class FallbackReport:
+    """The ladder's full history plus the chosen answer."""
+
+    rungs: List[RungOutcome] = field(default_factory=list)
+    chosen: Optional[RungOutcome] = None
+
+    @property
+    def result(self) -> AnalysisResult:
+        return self.chosen.result
+
+    @property
+    def cfg(self):
+        return self.chosen.cfg
+
+    @property
+    def client(self):
+        return self.chosen.client
+
+    @property
+    def rung_name(self) -> str:
+        return self.chosen.name
+
+    def describe(self) -> str:
+        lines = [outcome.describe() for outcome in self.rungs]
+        lines.append(f"answer from rung: {self.chosen.name}")
+        return "\n".join(lines)
+
+
+def escalate(limits: EngineLimits) -> EngineLimits:
+    """Escalated limits for a retry: double the precision-bounding knobs."""
+    return replace(
+        limits,
+        max_steps=limits.max_steps * 2,
+        widen_after=limits.widen_after * 2,
+        max_psets=limits.max_psets * 2,
+    )
+
+
+def _run_cartesian(program, limits):
+    from repro.analyses.cartesian import analyze_cartesian
+
+    return analyze_cartesian(program, limits=limits)
+
+
+def _run_simple_symbolic(program, limits):
+    from repro.analyses.simple_symbolic import analyze_program
+
+    return analyze_program(program, limits=limits)
+
+
+def _run_mpi_cfg_baseline(program, limits):
+    """The last rung: the MPI-CFG baseline, synthesized as an AnalysisResult.
+
+    Sound (a superset of every true topology, Section II) and total — it
+    cannot give up — but over-approximate, hence ``confidence="partial"``
+    with no diagnostics (nothing *failed*; precision was traded away
+    wholesale).
+    """
+    from repro.baselines.mpi_cfg import build_mpi_cfg
+    from repro.lang.cfg import build_cfg
+
+    cfg = build_cfg(program)
+    baseline = build_mpi_cfg(program, cfg=cfg)
+    topology = StaticTopology()
+    for send_node, recv_node in sorted(baseline.comm_edges):
+        topology.add(
+            MatchRecord(
+                send_node=send_node,
+                recv_node=recv_node,
+                sender_desc="[0..np-1]",
+                receiver_desc="[0..np-1]",
+                send_label=cfg.node(send_node).label,
+                recv_label=cfg.node(recv_node).label,
+            )
+        )
+    result = AnalysisResult(topology=topology)
+    result.confidence = diagnostics.PARTIAL
+    return result, cfg, baseline
+
+
+def default_ladder(limits: Optional[EngineLimits] = None) -> List[Rung]:
+    """The standard four-rung ladder (see the module docstring)."""
+    base = limits or EngineLimits()
+    boosted = escalate(base)
+    return [
+        Rung("cartesian", _run_cartesian, base),
+        Rung("cartesian-escalated", _run_cartesian, boosted),
+        Rung("simple-symbolic", _run_simple_symbolic, boosted),
+        Rung("mpi-cfg", _run_mpi_cfg_baseline, base),
+    ]
+
+
+def analyze_with_fallback(
+    program_or_spec,
+    limits: Optional[EngineLimits] = None,
+    ladder: Optional[List[Rung]] = None,
+) -> FallbackReport:
+    """Climb the fallback ladder until a rung answers exactly.
+
+    Returns a :class:`FallbackReport`; ``report.chosen`` is the first
+    ``exact`` rung, or the final (baseline) rung when none is exact.
+    Rungs after the winning one are not run.
+    """
+    if hasattr(program_or_spec, "parse"):
+        program = program_or_spec.parse()
+    else:
+        program = program_or_spec
+    report = FallbackReport()
+    for rung in ladder if ladder is not None else default_ladder(limits):
+        with obs.span(f"driver.rung.{rung.name}"):
+            result, cfg, client = rung.run(program, rung.limits)
+        outcome = RungOutcome(rung.name, result, cfg, client)
+        report.rungs.append(outcome)
+        obs.incr(f"driver.rung.{rung.name}.{result.confidence}")
+        if result.confidence == diagnostics.EXACT:
+            report.chosen = outcome
+            return report
+    # nothing exact: the last rung (the baseline, for the default ladder)
+    # is the answer of record
+    report.chosen = report.rungs[-1]
+    return report

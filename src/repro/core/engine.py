@@ -34,15 +34,33 @@ by the client's ``state_fingerprint``: when a newly produced state is
 semantically identical to one already seen, the existing object is reused
 (``engine.intern.hits``), which turns the client's join / fixed-point
 equality checks into pointer comparisons on the hot revisit path.
+
+Resilience
+----------
+
+Section VI's ``T`` is a *local* answer, and the engine treats it as one:
+a ``GiveUp`` (or an unexpected exception escaping a client callback, or a
+malformed-CFG error) poisons only the offending configuration — the node
+is marked ``T``, a :class:`~repro.core.diagnostics.Diagnostic` is
+recorded, and the worklist keeps draining, so the rest of the topology,
+final states and node invariants survive as a sound partial result.
+Resource budgets (``max_steps``, ``deadline_sec``, ``max_state_bytes``)
+end the run with a ``partial`` result plus a budget diagnostic, never an
+exception.  ``EngineLimits.strict`` restores the paper-fidelity
+abort-on-first-failure behavior; in either mode ``run()`` never raises.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
+import time
+import tracemalloc
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core import diagnostics
 from repro.core.client import (
     Alternatives,
     ClientAnalysis,
@@ -51,23 +69,39 @@ from repro.core.client import (
     MatchResult,
     Split,
 )
-from repro.core.errors import GiveUp
+from repro.core.diagnostics import EXACT, Diagnostic
+from repro.core.errors import ClientFault, GiveUp, MalformedCFG
 from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
 from repro.core.topology import MatchRecord, StaticTopology
 from repro.lang.cfg import CFG, NodeKind
 from repro.obs import recorder as obs
 
+#: exceptions the run loop localizes to a ``T`` at one pCFG node
+_RECOVERABLE = (GiveUp, ClientFault, MalformedCFG)
+
 
 @dataclass
 class EngineLimits:
-    """Safety and precision knobs."""
+    """Safety, precision, and resource-budget knobs."""
 
-    #: maximum engine steps before aborting (runaway guard)
+    #: maximum engine steps before ending the run (runaway guard)
     max_steps: int = 20_000
     #: joins at a pCFG node before switching to widening
     widen_after: int = 2
     #: maximum process sets per configuration (the paper's ``p``)
     max_psets: int = 12
+    #: wall-clock budget for one ``run()`` in seconds (None: unlimited)
+    deadline_sec: Optional[float] = None
+    #: retained-state budget in bytes (None: unlimited).  Measured with
+    #: ``tracemalloc`` when tracing is active, otherwise approximated by
+    #: shallow ``sys.getsizeof`` over the per-node state table — an
+    #: order-of-magnitude guard, not an exact accounting.
+    max_state_bytes: Optional[int] = None
+    #: steps between memory-budget samples (the sample is not free)
+    memory_check_every: int = 64
+    #: paper-fidelity mode: abort the whole run on the first failure
+    #: instead of localizing ``T`` to the offending pCFG node
+    strict: bool = False
 
 
 @dataclass
@@ -75,7 +109,9 @@ class AnalysisResult:
     """Everything the analysis established."""
 
     topology: StaticTopology
+    #: True when any degradation occurred (the result is not exact)
     gave_up: bool = False
+    #: first degradation's message (see ``diagnostics`` for all of them)
     give_up_reason: str = ""
     #: configurations where every process set reached the CFG exit
     final_states: List[ClientState] = field(default_factory=list)
@@ -87,6 +123,12 @@ class AnalysisResult:
     blocked_at_giveup: List = field(default_factory=list)
     #: states per pCFG node (for inspecting loop invariants etc.)
     node_states: Dict[PCFGNodeKey, ClientState] = field(default_factory=dict)
+    #: structured degradation records, in occurrence order
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: ``exact`` | ``partial`` | ``gave_up`` (see :mod:`repro.core.diagnostics`)
+    confidence: str = EXACT  # the `diagnostics` field shadows the module here
+    #: pCFG nodes that fell to ``T`` (localized degradation)
+    top_nodes: Set[PCFGNodeKey] = field(default_factory=set)
 
     @property
     def matches(self):
@@ -100,7 +142,12 @@ class AnalysisResult:
 
 
 class PCFGEngine:
-    """Runs a client analysis over a program's pCFG."""
+    """Runs a client analysis over a program's pCFG.
+
+    ``run()`` never raises: every failure mode — client give-up, client
+    callback fault, malformed CFG, tripped budget — lands in
+    ``AnalysisResult.diagnostics`` with a stable code.
+    """
 
     def __init__(
         self,
@@ -118,6 +165,20 @@ class PCFGEngine:
         #: CFG node id -> reverse-postorder rank (worklist priority domain)
         self._rpo: Dict[int, int] = cfg.rpo_index()
 
+    # -- client-callback guard ---------------------------------------------------
+
+    def _call(self, callback: str, fn, *args):
+        """Invoke one client callback, converting unexpected exceptions
+        into :class:`ClientFault` so a buggy client cannot take down the
+        engine.  ``GiveUp`` and ``MalformedCFG`` pass through — they are
+        the sanctioned control-flow signals."""
+        try:
+            return fn(*args)
+        except _RECOVERABLE:
+            raise
+        except Exception as exc:
+            raise ClientFault(callback, exc) from exc
+
     # -- driving -----------------------------------------------------------------
 
     def run(self) -> AnalysisResult:
@@ -126,13 +187,17 @@ class PCFGEngine:
             return self._run()
 
     def _run(self) -> AnalysisResult:
+        limits = self.limits
         result = AnalysisResult(topology=StaticTopology())
         client = self.client
+        deadline = None
+        if limits.deadline_sec is not None:
+            deadline = time.monotonic() + limits.deadline_sec
         try:
-            initial = client.initial()
-        except GiveUp as failure:
-            result.gave_up = True
-            result.give_up_reason = failure.reason
+            initial = self._call("initial", client.initial)
+        except _RECOVERABLE as failure:
+            self._degrade(result, None, failure)
+            self._finalize(result, aborted=True)
             return result
 
         states: Dict[PCFGNodeKey, ClientState] = {}
@@ -153,24 +218,53 @@ class PCFGEngine:
             pending.add(key)
             heapq.heappush(worklist, (self._priority(key), next(seq), key))
 
-        entry_key = self._canonicalize_into(
-            states, visits, None, [self.cfg.entry], initial, "entry", "", result
-        )
+        try:
+            entry_key = self._canonicalize_into(
+                states, visits, None, [self.cfg.entry], initial, "entry", "", result
+            )
+        except _RECOVERABLE as failure:
+            # a client raising from is_empty/merge_psets/join on the very
+            # first state must yield a gave_up result, not a traceback
+            self._degrade(result, None, failure)
+            result.node_states = states
+            self._finalize(result, aborted=True)
+            return result
         if entry_key is not None:
             enqueue(entry_key)
 
+        aborted = False
         while worklist:
-            if result.gave_up:
-                break
             result.steps += 1
             obs.incr("engine.steps")
             obs.observe("engine.worklist.length", len(worklist))
-            if result.steps > self.limits.max_steps:
-                result.gave_up = True
-                result.give_up_reason = (
-                    f"engine step limit {self.limits.max_steps} exceeded"
+            if result.steps > limits.max_steps:
+                self._record_budget(
+                    result,
+                    diagnostics.BUDGET_STEPS,
+                    f"engine step limit {limits.max_steps} exceeded",
                 )
                 break
+            if deadline is not None and time.monotonic() > deadline:
+                self._record_budget(
+                    result,
+                    diagnostics.BUDGET_DEADLINE,
+                    f"wall-clock deadline {limits.deadline_sec}s exceeded "
+                    f"after {result.steps} steps",
+                )
+                break
+            if (
+                limits.max_state_bytes is not None
+                and result.steps % max(1, limits.memory_check_every) == 0
+            ):
+                usage = self._state_bytes(states)
+                if usage > limits.max_state_bytes:
+                    self._record_budget(
+                        result,
+                        diagnostics.BUDGET_MEMORY,
+                        f"retained state ~{usage} bytes exceeds budget "
+                        f"{limits.max_state_bytes}",
+                    )
+                    break
             _, _, key = heapq.heappop(worklist)
             pending.discard(key)
             visits[key] = visits.get(key, 0) + 1
@@ -178,25 +272,102 @@ class PCFGEngine:
             try:
                 with obs.span("engine.step"):
                     successors = self._step(key, state, result)
-            except GiveUp as failure:
-                result.gave_up = True
-                result.give_up_reason = failure.reason
-                result.blocked_at_giveup = failure.blocked
+            except _RECOVERABLE as failure:
+                if self._degrade(result, key, failure):
+                    continue
+                aborted = True
                 break
-            try:
-                for locs, succ_state, kind, detail in successors:
+            for locs, succ_state, kind, detail in successors:
+                try:
                     succ_key = self._canonicalize_into(
                         states, visits, key, locs, succ_state, kind, detail, result
                     )
-                    if succ_key is not None:
-                        enqueue(succ_key)
-            except GiveUp as failure:
-                result.gave_up = True
-                result.give_up_reason = failure.reason
-                result.blocked_at_giveup = failure.blocked
+                except _RECOVERABLE as failure:
+                    # poison the producing node: this successor is lost,
+                    # siblings already enqueued stay valid
+                    if self._degrade(result, key, failure):
+                        continue
+                    aborted = True
+                    break
+                if succ_key is not None:
+                    enqueue(succ_key)
+            if aborted:
                 break
         result.node_states = states
+        self._finalize(result, aborted)
         return result
+
+    # -- degradation and budgets ---------------------------------------------------
+
+    def _degrade(
+        self,
+        result: AnalysisResult,
+        key: Optional[PCFGNodeKey],
+        failure: Exception,
+    ) -> bool:
+        """Record ``failure`` and poison ``key`` with a local ``T``.
+
+        Returns True when the run may continue draining the worklist
+        (non-strict mode), False when it must abort (strict mode)."""
+        if isinstance(failure, ClientFault):
+            diag = Diagnostic(
+                code=diagnostics.CLIENT_FAULT,
+                message=str(failure),
+                node_key=key,
+                callback=failure.callback,
+            )
+            obs.incr("engine.recover.client_fault")
+        elif isinstance(failure, MalformedCFG):
+            diag = Diagnostic(
+                code=diagnostics.CFG_MALFORMED,
+                message=str(failure),
+                node_key=key,
+            )
+        else:  # GiveUp
+            diag = Diagnostic(
+                code=failure.code,
+                message=failure.reason,
+                node_key=key,
+                blocked=tuple((nid, desc) for nid, desc in failure.blocked),
+            )
+            result.blocked_at_giveup.extend(failure.blocked)
+        result.diagnostics.append(diag)
+        result.gave_up = True
+        if not result.give_up_reason:
+            result.give_up_reason = diag.message
+        if self.limits.strict:
+            return False
+        if key is not None:
+            result.top_nodes.add(key)
+        obs.incr("engine.recover.local_top")
+        return True
+
+    def _record_budget(self, result: AnalysisResult, code: str, message: str) -> None:
+        """A resource budget tripped: end the run as a sound partial result."""
+        result.diagnostics.append(
+            Diagnostic(code=code, message=message, severity=diagnostics.WARNING)
+        )
+        result.gave_up = True
+        if not result.give_up_reason:
+            result.give_up_reason = message
+        obs.incr(f"engine.budget.{code.split('_', 1)[1].lower()}")
+
+    def _finalize(self, result: AnalysisResult, aborted: bool) -> None:
+        if not result.diagnostics:
+            result.confidence = diagnostics.EXACT
+        elif aborted:
+            result.confidence = diagnostics.GAVE_UP
+        else:
+            result.confidence = diagnostics.PARTIAL
+
+    def _state_bytes(self, states: Dict[PCFGNodeKey, ClientState]) -> int:
+        """Approximate retained-state footprint for the memory budget."""
+        if tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[0]
+        total = sys.getsizeof(states) + sys.getsizeof(self._intern)
+        for state in states.values():
+            total += sys.getsizeof(state)
+        return total
 
     # -- one configuration -------------------------------------------------------
 
@@ -209,7 +380,9 @@ class PCFGEngine:
 
         # 1. send-receive matching (possibly several alternative worlds)
         with obs.span("engine.match"):
-            matches = client.try_match(state, locs, blocked, self.cfg)
+            matches = self._call(
+                "try_match", client.try_match, state, locs, blocked, self.cfg
+            )
         obs.incr("engine.match.attempts")
         if matches:
             obs.incr("engine.matches", len(matches))
@@ -224,7 +397,7 @@ class PCFGEngine:
                 with obs.span("engine.branch"):
                     return self._apply_branch(locs, pos, node, state)
             with obs.span("engine.transfer"):
-                new_state = client.transfer(state, pos, node)
+                new_state = self._call("transfer", client.transfer, state, pos, node)
             obs.incr("engine.transfers")
             if new_state is None:
                 return []  # infeasible: path is dead
@@ -235,8 +408,12 @@ class PCFGEngine:
         # 3. buffer a send (non-blocking extension)
         for pos, node_id in enumerate(locs):
             node = self.cfg.node(node_id)
-            if node.kind == NodeKind.SEND and client.can_buffer(state, pos, node):
-                new_state = client.buffer_send(state, pos, node)
+            if node.kind == NodeKind.SEND and self._call(
+                "can_buffer", client.can_buffer, state, pos, node
+            ):
+                new_state = self._call(
+                    "buffer_send", client.buffer_send, state, pos, node
+                )
                 obs.incr("engine.buffers")
                 new_locs = list(locs)
                 new_locs[pos] = self._single_successor(node_id)
@@ -254,17 +431,20 @@ class PCFGEngine:
             return []
         # blocked on communication with no provable match: if every blocked
         # set might be empty, the block may be vacuous — report, don't fail
-        verdicts = [self.client.is_empty(state, pos) for pos in comm_blocked]
+        verdicts = [
+            self._call("is_empty", client.is_empty, state, pos)
+            for pos in comm_blocked
+        ]
         if all(verdict is None for verdict in verdicts):
             description = ", ".join(
-                f"{self.client.describe_pset(state, pos)} at "
+                f"{self._call('describe_pset', client.describe_pset, state, pos)} at "
                 f"{self.cfg.node(locs[pos]).describe()}"
                 for pos in comm_blocked
             )
             result.vacuous_blocks.append(description)
             return []
         blocked_info = [
-            (locs[pos], self.client.describe_pset(state, pos))
+            (locs[pos], self._call("describe_pset", client.describe_pset, state, pos))
             for pos in comm_blocked
         ]
         blocked_desc = "; ".join(
@@ -281,7 +461,7 @@ class PCFGEngine:
         self, locs: List[int], match: MatchResult, result: AnalysisResult
     ) -> Tuple[List[int], ClientState, str, str]:
         client = self.client
-        new_count = client.num_psets(match.state)
+        new_count = self._call("num_psets", client.num_psets, match.state)
         new_locs = list(locs) + [0] * (new_count - len(locs))
         if match.sender_pos is not None:
             new_locs[match.sender_pos] = self._single_successor(match.send_node)
@@ -310,7 +490,7 @@ class PCFGEngine:
     def _apply_branch(
         self, locs: List[int], pos: int, node, state: ClientState
     ) -> List[Tuple[List[int], ClientState, str, str]]:
-        outcome = self.client.branch(state, pos, node)
+        outcome = self._call("branch", self.client.branch, state, pos, node)
         obs.incr("engine.branches")
         if isinstance(outcome, Split):
             obs.incr("engine.splits")
@@ -327,7 +507,8 @@ class PCFGEngine:
             new_locs.append(self._branch_target(node.node_id, False))
             if len(new_locs) > self.limits.max_psets:
                 raise GiveUp(
-                    f"process-set count exceeds p={self.limits.max_psets}"
+                    f"process-set count exceeds p={self.limits.max_psets}",
+                    code=diagnostics.GIVEUP_PSET_BOUND,
                 )
             successors.append((new_locs, outcome.state, "split", str(node.cond)))
         elif isinstance(outcome, Alternatives):
@@ -338,7 +519,9 @@ class PCFGEngine:
                     (new_locs, alt_state, "branch", f"{node.cond}={label}?")
                 )
         else:
-            raise TypeError(f"unknown branch outcome {outcome!r}")
+            raise ClientFault(
+                "branch", TypeError(f"unknown branch outcome {outcome!r}")
+            )
         return successors
 
     # -- canonicalization and state merging -----------------------------------------
@@ -376,8 +559,8 @@ class PCFGEngine:
         # prune provably-empty process sets
         pos = 0
         while pos < len(locs):
-            if client.is_empty(state, pos) is True:
-                state = client.remove_pset(state, pos)
+            if self._call("is_empty", client.is_empty, state, pos) is True:
+                state = self._call("remove_pset", client.remove_pset, state, pos)
                 del locs[pos]
             else:
                 pos += 1
@@ -391,7 +574,9 @@ class PCFGEngine:
             for i in range(len(locs)):
                 for j in range(i + 1, len(locs)):
                     if locs[i] == locs[j]:
-                        state = client.merge_psets(state, i, j)
+                        state = self._call(
+                            "merge_psets", client.merge_psets, state, i, j
+                        )
                         del locs[j]
                         merged = True
                         break
@@ -401,10 +586,13 @@ class PCFGEngine:
         # canonical order: sort positions by CFG location (stable)
         perm = sorted(range(len(locs)), key=lambda p: (locs[p], p))
         if perm != list(range(len(locs))):
-            state = client.rename(state, perm)
+            state = self._call("rename", client.rename, state, perm)
             locs = [locs[p] for p in perm]
 
-        key: PCFGNodeKey = (tuple(locs), client.pending_sites(state))
+        key: PCFGNodeKey = (
+            tuple(locs),
+            self._call("pending_sites", client.pending_sites, state),
+        )
         if src_key is not None:
             result.explored.add_edge(PCFGEdge(src_key, key, kind, detail))
         else:
@@ -418,19 +606,27 @@ class PCFGEngine:
         if old is state:
             return None  # hash-consed identical state: fixed point, no join
         with obs.span("engine.join"):
-            combined = client.join(old, state)
+            combined = self._call("join", client.join, old, state)
         obs.incr("engine.joins")
         if combined is None:
-            raise GiveUp(f"states at pCFG node {key} cannot be joined")
+            raise GiveUp(
+                f"states at pCFG node {key} cannot be joined",
+                code=diagnostics.GIVEUP_PSET_BOUND,
+            )
         if visits.get(key, 0) >= self.limits.widen_after:
             with obs.span("engine.widen"):
-                widened = client.widen(old, combined)
+                widened = self._call("widen", client.widen, old, combined)
             obs.incr("engine.widenings")
             if widened is None:
-                raise GiveUp(f"widening lost process-set bounds at {key}")
+                raise GiveUp(
+                    f"widening lost process-set bounds at {key}",
+                    code=diagnostics.GIVEUP_PSET_BOUND,
+                )
             combined = widened
         combined = self._interned(combined)
-        if old is combined or client.states_equal(old, combined):
+        if old is combined or self._call(
+            "states_equal", client.states_equal, old, combined
+        ):
             return None  # fixed point at this node
         states[key] = combined
         return key
@@ -450,7 +646,9 @@ class PCFGEngine:
         """
         if not self.intern_states:
             return state
-        fp = self.client.state_fingerprint(state)
+        fp = self._call(
+            "state_fingerprint", self.client.state_fingerprint, state
+        )
         if fp is None:
             return state
         cached = self._intern.get(fp)
@@ -470,15 +668,15 @@ class PCFGEngine:
     def _single_successor(self, node_id: int) -> int:
         targets = [dst for dst, label in self.cfg.successors(node_id) if label is None]
         if len(targets) != 1:
-            raise RuntimeError(
-                f"CFG node {node_id} has {len(targets)} unlabeled successors"
+            raise MalformedCFG(
+                node_id, f"expected 1 unlabeled successor, found {len(targets)}"
             )
         return targets[0]
 
     def _branch_target(self, node_id: int, label: bool) -> int:
         targets = [dst for dst, lbl in self.cfg.successors(node_id) if lbl is label]
         if len(targets) != 1:
-            raise RuntimeError(
-                f"branch node {node_id} has {len(targets)} {label}-successors"
+            raise MalformedCFG(
+                node_id, f"expected 1 {label}-successor, found {len(targets)}"
             )
         return targets[0]

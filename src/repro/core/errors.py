@@ -2,20 +2,58 @@
 
 from __future__ import annotations
 
+from repro.core.diagnostics import GIVEUP_NO_MATCH
+
 
 class GiveUp(Exception):
     """Raised by a client analysis when it must fall to ``T`` (top).
 
     Per Section VI, when the state representation or inference power of the
     client cannot establish an exact send-receive match (or loses track of a
-    process-set bound), the only sound move is a conservative ``T``: the
-    engine stops refining and reports that the analysis gave up, with this
-    exception's message as the diagnostic.
+    process-set bound), the only sound move is a conservative ``T``.  The
+    engine localizes the damage: the offending pCFG node is marked ``T``,
+    a diagnostic is recorded under ``code``, and exploration continues
+    (``EngineLimits.strict`` restores the global abort).
     """
 
-    def __init__(self, reason: str, blocked=None):
+    def __init__(self, reason: str, blocked=None, code: str = GIVEUP_NO_MATCH):
         super().__init__(reason)
         self.reason = reason
         #: list of (CFG node id, process-set description) pairs blocked on
         #: communication when the analysis gave up (bug-detector input)
         self.blocked = list(blocked or [])
+        #: stable diagnostic code (see :mod:`repro.core.diagnostics`)
+        self.code = code
+
+
+class MalformedCFG(Exception):
+    """The CFG violated a structural invariant the engine relies on.
+
+    Carries the offending node id so the failure can be reported as a
+    ``CFG_MALFORMED`` diagnostic (and as a one-line CLI error) instead of
+    a bare traceback.
+    """
+
+    def __init__(self, node_id: int, reason: str):
+        super().__init__(f"CFG node {node_id}: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+
+
+class ClientFault(Exception):
+    """An unexpected exception escaped a client callback.
+
+    Engine-internal: the guard around every client callback wraps foreign
+    exceptions in this type so the run loop can convert them into
+    ``CLIENT_FAULT`` diagnostics plus a local ``T`` instead of crashing.
+    ``original`` keeps the underlying exception (also chained as
+    ``__cause__``).
+    """
+
+    def __init__(self, callback: str, original: BaseException):
+        super().__init__(
+            f"client callback {callback!r} raised "
+            f"{type(original).__name__}: {original}"
+        )
+        self.callback = callback
+        self.original = original

@@ -158,6 +158,12 @@ def build_profile(
             "steps": result.steps,
             "gave_up": result.gave_up,
             "give_up_reason": result.give_up_reason,
+            "confidence": result.confidence,
+            "diagnostics": [
+                {"code": diag.code, "severity": diag.severity,
+                 "message": diag.message}
+                for diag in result.diagnostics
+            ],
             "pcfg_nodes": result.explored.node_count(),
             "pcfg_edges": result.explored.edge_count(),
             "matches": len(result.match_records),

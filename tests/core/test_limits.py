@@ -1,0 +1,90 @@
+"""Dedicated coverage for the engine limit paths and diagnostic codes."""
+
+from __future__ import annotations
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core import diagnostics
+from repro.core.engine import EngineLimits, PCFGEngine
+from repro.lang import programs
+from repro.lang.cfg import build_cfg
+
+
+def run(name, client=None, limits=None):
+    program = programs.get(name).parse()
+    cfg = build_cfg(program)
+    return PCFGEngine(cfg, client or SimpleSymbolicClient(), limits).run()
+
+
+# -- max_steps ------------------------------------------------------------------
+
+
+def test_max_steps_exhaustion_is_a_budget_diagnostic():
+    result = run("exchange_with_root", limits=EngineLimits(max_steps=3))
+    assert result.gave_up
+    assert result.confidence == diagnostics.PARTIAL
+    (diag,) = result.diagnostics
+    assert diag.code == diagnostics.BUDGET_STEPS
+    assert diag.severity == diagnostics.WARNING
+    assert "step limit 3 exceeded" in diag.message
+    assert result.steps == 4  # the step that tripped the budget
+
+
+def test_max_steps_not_tripped_on_exact_run():
+    result = run("pingpong", limits=EngineLimits(max_steps=20_000))
+    assert result.confidence == diagnostics.EXACT
+    assert not any(
+        d.code == diagnostics.BUDGET_STEPS for d in result.diagnostics
+    )
+
+
+# -- max_psets ------------------------------------------------------------------
+
+
+def test_max_psets_split_giveup_carries_pset_bound_code():
+    result = run("pingpong", limits=EngineLimits(max_psets=1))
+    assert result.gave_up
+    codes = {d.code for d in result.diagnostics}
+    assert diagnostics.GIVEUP_PSET_BOUND in codes
+    assert "exceeds p=1" in result.give_up_reason
+
+
+def test_max_psets_split_giveup_strict_aborts():
+    result = run(
+        "pingpong", limits=EngineLimits(max_psets=1, strict=True)
+    )
+    assert result.confidence == diagnostics.GAVE_UP
+    assert result.diagnostics[0].code == diagnostics.GIVEUP_PSET_BOUND
+
+
+def test_generous_max_psets_is_exact():
+    result = run("pingpong", limits=EngineLimits(max_psets=12))
+    assert result.confidence == diagnostics.EXACT
+
+
+# -- vacuous blocks -------------------------------------------------------------
+
+
+class UnknownEmptiness(SimpleSymbolicClient):
+    """A client that can never decide emptiness: blocked sets *might* be
+    empty, so a block is possibly vacuous and must not be a failure."""
+
+    def is_empty(self, state, pos):
+        return None
+
+
+def test_possibly_empty_blocked_sets_are_vacuous_not_giveup():
+    result = run("stuck_receive", client=UnknownEmptiness())
+    assert result.vacuous_blocks, "the blocked configuration must be reported"
+    assert any("receive" in desc for desc in result.vacuous_blocks)
+    # a possibly-vacuous block is NOT a degradation: no T, no diagnostic
+    assert result.confidence == diagnostics.EXACT
+    assert not result.gave_up
+    assert result.diagnostics == []
+
+
+def test_decided_nonempty_blocked_set_still_gives_up():
+    result = run("stuck_receive")  # the plain client knows [0..0] is non-empty
+    assert result.gave_up
+    assert any(
+        d.code == diagnostics.GIVEUP_NO_MATCH for d in result.diagnostics
+    )

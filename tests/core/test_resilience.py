@@ -1,0 +1,239 @@
+"""The resilience layer: localized T, fault isolation, budgets, strict mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core import diagnostics
+from repro.core.engine import AnalysisResult, EngineLimits, PCFGEngine
+from repro.core.errors import GiveUp, MalformedCFG
+from repro.lang import parse, programs
+from repro.lang.cfg import NodeKind, build_cfg
+
+#: one branch arm blocks forever (proc 2 awaits a send that never comes);
+#: the 0 -> 1 exchange is provable and must survive the localized T
+MIXED_SOURCE = """
+    if id == 0 then
+        x = 1
+        send x -> 1
+    elif id == 1 then
+        receive y <- 0
+    elif id == 2 then
+        receive z <- 3
+    else
+        skip
+    end
+"""
+
+
+def run_source(source, client=None, limits=None):
+    program = parse(source)
+    cfg = build_cfg(program)
+    client = client or SimpleSymbolicClient()
+    return PCFGEngine(cfg, client, limits).run(), cfg, client
+
+
+def run_corpus(name, client=None, limits=None):
+    spec = programs.get(name)
+    return run_source(spec.source, client, limits)
+
+
+# -- localized T degradation ---------------------------------------------------
+
+
+def test_localized_giveup_keeps_sound_partial_topology():
+    result, _cfg, _client = run_source(MIXED_SOURCE)
+    assert result.confidence == diagnostics.PARTIAL
+    assert result.gave_up  # backward-compatible summary bit
+    assert result.top_nodes, "the blocked configuration must be marked T"
+    codes = [diag.code for diag in result.diagnostics]
+    assert diagnostics.GIVEUP_NO_MATCH in codes
+    # the provable half of the program survives degradation
+    assert len(result.matches) == 1
+    (match,) = result.match_records
+    assert match.sender_desc == "[0..0]"
+    assert match.receiver_desc == "[1..1]"
+    # the no-match diagnostic carries the blocked sets for the bug detectors
+    no_match = next(
+        diag for diag in result.diagnostics
+        if diag.code == diagnostics.GIVEUP_NO_MATCH
+    )
+    assert no_match.blocked
+    assert no_match.node_key is not None
+    assert result.blocked_at_giveup  # legacy surface still populated
+
+
+def test_strict_mode_preserves_abort_on_first_failure():
+    result, _cfg, _client = run_source(
+        MIXED_SOURCE, limits=EngineLimits(strict=True)
+    )
+    assert result.confidence == diagnostics.GAVE_UP
+    assert result.gave_up
+    assert len(result.diagnostics) == 1
+    assert not result.top_nodes  # nothing was localized: the run aborted
+
+
+def test_exact_result_has_no_diagnostics():
+    result, _cfg, _client = run_corpus("pingpong")
+    assert result.confidence == diagnostics.EXACT
+    assert not result.gave_up
+    assert result.diagnostics == []
+    assert result.top_nodes == set()
+
+
+# -- satellite: entry-state failures must not escape run() ---------------------
+
+
+class GiveUpOnIsEmpty(SimpleSymbolicClient):
+    def is_empty(self, state, pos):
+        raise GiveUp("injected entry-state give-up")
+
+
+class GiveUpOnJoin(SimpleSymbolicClient):
+    def join(self, old, new):
+        raise GiveUp("injected join give-up")
+
+
+def test_giveup_from_is_empty_on_initial_state_is_caught():
+    # regression: entry canonicalization used to sit outside the try blocks,
+    # so this raised straight through run()
+    result, _cfg, _client = run_corpus("pingpong", client=GiveUpOnIsEmpty())
+    assert isinstance(result, AnalysisResult)
+    assert result.confidence == diagnostics.GAVE_UP
+    assert result.gave_up
+    assert "entry-state give-up" in result.give_up_reason
+
+
+def test_giveup_from_join_never_escapes_run():
+    result, _cfg, _client = run_corpus(
+        "exchange_with_root", client=GiveUpOnJoin()
+    )
+    assert isinstance(result, AnalysisResult)
+    assert result.gave_up
+
+
+# -- client fault isolation ----------------------------------------------------
+
+
+class FaultyTransfer(SimpleSymbolicClient):
+    """Raises an arbitrary exception on the Nth transfer call."""
+
+    def __init__(self, fail_on=2, **kwargs):
+        super().__init__(**kwargs)
+        self.fail_on = fail_on
+        self.calls = 0
+
+    def transfer(self, state, pos, node):
+        self.calls += 1
+        if self.calls == self.fail_on:
+            raise ValueError("client bug: transfer exploded")
+        return super().transfer(state, pos, node)
+
+
+def test_client_fault_is_isolated_to_one_node():
+    with obs.recording() as rec:
+        result, _cfg, _client = run_corpus("pingpong", client=FaultyTransfer())
+    assert result.confidence in (diagnostics.PARTIAL, diagnostics.GAVE_UP)
+    fault = next(
+        diag for diag in result.diagnostics
+        if diag.code == diagnostics.CLIENT_FAULT
+    )
+    assert fault.callback == "transfer"
+    assert "transfer exploded" in fault.message
+    assert result.top_nodes
+    counters = rec.snapshot()["counters"]
+    assert counters.get("engine.recover.client_fault", 0) >= 1
+    assert counters.get("engine.recover.local_top", 0) >= 1
+
+
+def test_client_fault_in_strict_mode_aborts():
+    result, _cfg, _client = run_corpus(
+        "pingpong", client=FaultyTransfer(), limits=EngineLimits(strict=True)
+    )
+    assert result.confidence == diagnostics.GAVE_UP
+    assert result.diagnostics[0].code == diagnostics.CLIENT_FAULT
+
+
+def test_keyboard_interrupt_is_not_swallowed():
+    class Interrupting(SimpleSymbolicClient):
+        def transfer(self, state, pos, node):
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_corpus("pingpong", client=Interrupting())
+
+
+# -- satellite: malformed CFGs -------------------------------------------------
+
+
+def test_malformed_cfg_becomes_diagnostic_not_traceback():
+    program = programs.get("pingpong").parse()
+    cfg = build_cfg(program)
+    assign = next(
+        n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.ASSIGN
+    )
+    cfg.edges[assign] = []  # sever the assign node's fallthrough edge
+    result = PCFGEngine(cfg, SimpleSymbolicClient()).run()
+    malformed = next(
+        diag for diag in result.diagnostics
+        if diag.code == diagnostics.CFG_MALFORMED
+    )
+    assert f"CFG node {assign}" in malformed.message
+    assert result.confidence in (diagnostics.PARTIAL, diagnostics.GAVE_UP)
+
+
+def test_single_successor_raises_structured_error():
+    program = programs.get("pingpong").parse()
+    cfg = build_cfg(program)
+    assign = next(
+        n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.ASSIGN
+    )
+    cfg.edges[assign] = []
+    engine = PCFGEngine(cfg, SimpleSymbolicClient())
+    with pytest.raises(MalformedCFG) as excinfo:
+        engine._single_successor(assign)
+    assert excinfo.value.node_id == assign
+    assert "expected 1 unlabeled successor" in str(excinfo.value)
+
+
+# -- resource budgets ----------------------------------------------------------
+
+
+def test_deadline_budget_ends_run_as_partial():
+    result, _cfg, _client = run_corpus(
+        "exchange_with_root", limits=EngineLimits(deadline_sec=0.0)
+    )
+    assert result.confidence == diagnostics.PARTIAL
+    (diag,) = [
+        d for d in result.diagnostics if d.code == diagnostics.BUDGET_DEADLINE
+    ]
+    assert diag.severity == diagnostics.WARNING
+    assert result.gave_up
+
+
+def test_memory_budget_ends_run_as_partial():
+    result, _cfg, _client = run_corpus(
+        "exchange_with_root",
+        limits=EngineLimits(max_state_bytes=1, memory_check_every=1),
+    )
+    assert result.confidence == diagnostics.PARTIAL
+    codes = [d.code for d in result.diagnostics]
+    assert diagnostics.BUDGET_MEMORY in codes
+
+
+def test_budgets_never_raise_with_tiny_everything():
+    limits = EngineLimits(
+        max_steps=1, deadline_sec=0.0, max_state_bytes=1, memory_check_every=1
+    )
+    for name in ("pingpong", "exchange_with_root", "ring_modular"):
+        result, _cfg, _client = run_corpus(name, limits=limits)
+        assert isinstance(result, AnalysisResult)
+        assert result.confidence in (diagnostics.PARTIAL, diagnostics.EXACT)
+
+
+def test_budget_counters_are_recorded():
+    with obs.recording() as rec:
+        run_corpus("exchange_with_root", limits=EngineLimits(max_steps=3))
+    assert rec.snapshot()["counters"].get("engine.budget.steps", 0) == 1
