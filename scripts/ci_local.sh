@@ -8,6 +8,9 @@
 #                  interpreter stands in for the 3.9-3.12 matrix)
 #   chaos       -> the fault-injection suite at a fixed seed (CHAOS_SEED,
 #                  default 1337, printed so failures reproduce exactly)
+#   resume-smoke-> interrupt an analysis (deadline / step budget) with
+#                  checkpointing on, `repro resume` it, and diff the output
+#                  against an uninterrupted run (must be byte-identical)
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -46,6 +49,22 @@ echo "(chaos seed: CHAOS_SEED=${CHAOS_SEED}; reproduce failures with" \
   "CHAOS_SEED=${CHAOS_SEED} pytest tests/core/test_chaos.py -m chaos)"
 step "chaos: fault-injection suite" \
   python -m pytest tests/core/test_chaos.py -m chaos -q
+step "resume-smoke: deadline-tripped constants run" bash -c '
+  rm -rf .ci-ckpt && mkdir -p .ci-ckpt &&
+  python -m repro pingpong --constants > .ci-ckpt/clean.txt &&
+  { python -m repro pingpong --constants --deadline 0 \
+      --checkpoint-dir .ci-ckpt > /dev/null || true; } &&
+  python -m repro resume pingpong --constants \
+      --checkpoint-dir .ci-ckpt > .ci-ckpt/resumed.txt &&
+  diff .ci-ckpt/clean.txt .ci-ckpt/resumed.txt'
+step "resume-smoke: step-tripped topology run" bash -c '
+  python -m repro transpose_square --no-validate > .ci-ckpt/clean.txt &&
+  { python -m repro transpose_square --no-validate --max-steps 8 \
+      --checkpoint-dir .ci-ckpt > /dev/null || true; } &&
+  python -m repro resume transpose_square --no-validate \
+      --checkpoint-dir .ci-ckpt > .ci-ckpt/resumed.txt &&
+  diff .ci-ckpt/clean.txt .ci-ckpt/resumed.txt &&
+  rm -rf .ci-ckpt'
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json

@@ -80,6 +80,27 @@ class CartesianClient(SimpleSymbolicClient):
                 self.invariants.assume_positive(var_side.name)
                 return
 
+    # -- checkpoint/resume ------------------------------------------------------
+
+    def checkpoint_extra(self):
+        """Persist the harvested invariant system alongside the base data.
+
+        Invariants are collected from ``assert`` transfers that a resumed
+        run never replays, so without this the HSM prover would lose
+        ``np = nrows * ncols``-style facts and fail matches it proved
+        before the interruption.
+        """
+        data = super().checkpoint_extra() or {}
+        data["invariants"] = self.invariants.snapshot_state()
+        return data
+
+    def restore_extra(self, data) -> None:
+        super().restore_extra(data)
+        if data and "invariants" in data:
+            self.invariants.restore_state(data["invariants"])
+            # fresh prover: memoized verdicts depend on the invariant system
+            self.prover = HSMProver(self.invariants)
+
     # -- uniform-parameter plumbing ------------------------------------------------
 
     def _depersonalize(self, expr: Expr, uid: int) -> Optional[Expr]:
@@ -298,9 +319,11 @@ def _range_size_poly(rng) -> Optional[Poly]:
 
 
 def analyze_cartesian(program_or_spec, client: Optional[CartesianClient] = None,
-                      limits=None):
+                      limits=None, *, checkpointer=None, resume=None):
     """Run the Cartesian client; returns ``(result, cfg, client)``."""
     from repro.analyses.simple_symbolic import analyze_program
 
     client = client or CartesianClient()
-    return analyze_program(program_or_spec, client, limits)
+    return analyze_program(
+        program_or_spec, client, limits, checkpointer=checkpointer, resume=resume
+    )

@@ -55,11 +55,14 @@ class ConstPropReport:
         )
 
 
-def propagate_constants(program_or_spec, client: Optional[ConstantPropagationClient] = None):
+def propagate_constants(program_or_spec, client: Optional[ConstantPropagationClient] = None,
+                        limits=None, *, checkpointer=None, resume=None):
     """Run parallel + sequential constant propagation; return
     ``(report, result, cfg)``."""
     client = client or ConstantPropagationClient()
-    result, cfg, client = analyze_program(program_or_spec, client)
+    result, cfg, client = analyze_program(
+        program_or_spec, client, limits, checkpointer=checkpointer, resume=resume
+    )
     report = ConstPropReport(gave_up=result.gave_up)
     sequential = sequential_constants(cfg)
     for node_id, node in cfg.nodes.items():

@@ -1234,6 +1234,31 @@ class SimpleSymbolicClient(ClientAnalysis):
             state.next_uid,
         )
 
+    # -- checkpoint/resume ------------------------------------------------------
+
+    def checkpoint_extra(self):
+        """Client accumulators an engine snapshot must carry.
+
+        ``print_observations`` is populated by ``transfer`` at PRINT nodes
+        already executed — a resumed run never replays those transfers, so
+        the constants report (Fig. 2) would silently lose values without
+        this.
+        """
+        return {
+            "print_observations": {
+                node_id: set(values)
+                for node_id, values in self.print_observations.items()
+            },
+        }
+
+    def restore_extra(self, data) -> None:
+        if not data:
+            return
+        observations = data.get("print_observations") or {}
+        self.print_observations = {
+            node_id: set(values) for node_id, values in observations.items()
+        }
+
     def _enrich_state(self, state: SymbolicState) -> SymbolicState:
         new = state.copy()
         new.psets = tuple(
@@ -1331,9 +1356,14 @@ def _pretty(text: str) -> str:
 
 
 def analyze_program(program_or_spec, client: Optional[SimpleSymbolicClient] = None,
-                    limits=None):
+                    limits=None, *, checkpointer=None, resume=None):
     """Convenience wrapper: parse/build CFG, run the engine, return
-    ``(result, cfg, client)``."""
+    ``(result, cfg, client)``.
+
+    ``checkpointer`` persists crash-safe snapshots during the run;
+    ``resume`` warm-starts the engine from a snapshot object or file (see
+    :mod:`repro.core.checkpoint`).
+    """
     from repro.core.engine import PCFGEngine
     from repro.lang.cfg import build_cfg
 
@@ -1343,6 +1373,38 @@ def analyze_program(program_or_spec, client: Optional[SimpleSymbolicClient] = No
         program = program_or_spec
     cfg = build_cfg(program)
     client = client or SimpleSymbolicClient()
-    engine = PCFGEngine(cfg, client, limits)
-    result = engine.run()
+    engine = PCFGEngine(cfg, client, limits, checkpointer=checkpointer)
+    result = engine.run(resume=resume)
     return result, cfg, client
+
+
+def _register_snapshot_codecs() -> None:
+    """Stable serializers for the Section VII client's state types.
+
+    Registered per client analysis as the checkpoint layer requires;
+    subclasses (Cartesian, constant propagation) share the state types and
+    therefore the codecs.
+    """
+    from repro.core.checkpoint import register_codec
+
+    register_codec(
+        PSetEntry,
+        "pset_entry",
+        lambda entry: [entry.uid, entry.pset],
+        lambda data: PSetEntry(data[0], data[1]),
+    )
+    register_codec(
+        Pending,
+        "pending_send",
+        lambda p: [p.send_node, p.origin_uid, p.pset, p.dest, p.value, p.mtype],
+        lambda d: Pending(d[0], d[1], d[2], d[3], d[4], d[5]),
+    )
+    register_codec(
+        SymbolicState,
+        "symbolic_state",
+        lambda s: [s.cg, list(s.psets), list(s.pendings), s.next_uid],
+        lambda d: SymbolicState(d[0], tuple(d[1]), tuple(d[2]), d[3]),
+    )
+
+
+_register_snapshot_codecs()

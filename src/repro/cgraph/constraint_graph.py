@@ -169,6 +169,41 @@ class ConstraintGraph:
         rep = self._rep_fingerprint()
         return (rep[0], rep[2])
 
+    # -- snapshot serialization -------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Representational state for the checkpoint codec.
+
+        Captures the raw bound matrix (closed or not), feasibility, the
+        closedness flag and the ablation switches — everything needed to
+        rebuild a graph that behaves identically, including its canonical
+        :meth:`fingerprint`.
+        """
+        return {
+            "vars": sorted(self.variables()),
+            "edges": list(self._edge_items()),
+            "closed": self._closed,
+            "infeasible": self._infeasible,
+            "naive_closure": self.naive_closure,
+            "naive_copy": self.naive_copy,
+        }
+
+    @classmethod
+    def from_state(cls, data: Mapping) -> "ConstraintGraph":
+        """Rebuild a graph from :meth:`to_state` output (stats sink is the
+        process-global one; snapshots don't carry profiling state)."""
+        graph = cls(
+            naive_closure=bool(data.get("naive_closure", False)),
+            naive_copy=bool(data.get("naive_copy", False)),
+        )
+        for name in data["vars"]:
+            graph._bound.setdefault(name, {})
+        for src, dst, c in data["edges"]:
+            graph._bound.setdefault(src, {})[dst] = c
+        graph._closed = bool(data["closed"])
+        graph._infeasible = bool(data["infeasible"])
+        return graph
+
     # -- basics ---------------------------------------------------------------
 
     def copy(self) -> "ConstraintGraph":

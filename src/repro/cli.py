@@ -8,6 +8,8 @@ Examples::
     python -m repro pingpong --constants           # constant propagation
     python -m repro message_leak --bugs            # bug detection
     python -m repro profile mdcask_full            # Section IX cost profile
+    python -m repro mdcask_full --checkpoint-dir . # crash-safe snapshots
+    python -m repro resume mdcask_full             # continue an interrupted run
 """
 
 from __future__ import annotations
@@ -88,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-state-bytes", type=int, default=None, metavar="BYTES",
         help="retained-state memory budget for the engine run",
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe engine snapshots into DIR "
+             "(default when checkpointing is active: .repro-ckpt)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also snapshot every N engine steps (0: snapshot only on "
+             "budget trips and interpreter exit)",
+    )
+    parser.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="SNAPSHOT",
+        help="warm-start from a snapshot file; with no value, use the "
+             "target's snapshot in the checkpoint directory (a missing or "
+             "stale snapshot degrades to a cold start, never an error)",
+    )
     return parser
 
 
@@ -97,6 +115,35 @@ def _engine_limits(args) -> EngineLimits:
     if args.max_steps is not None:
         limits.max_steps = args.max_steps
     return limits
+
+
+def _checkpoint_config(args, program_name: str):
+    """Build the ``(checkpointer, resume)`` pair for this invocation.
+
+    Checkpointing activates when any of ``--checkpoint-dir``,
+    ``--checkpoint-every`` or ``--resume`` is given; otherwise both are
+    None and the engine runs exactly as before.
+    """
+    from repro.core.checkpoint import Checkpointer
+
+    wants = (
+        args.checkpoint_dir is not None
+        or args.checkpoint_every > 0
+        or args.resume is not None
+    )
+    if not wants:
+        return None, None
+    directory = Path(args.checkpoint_dir or ".repro-ckpt")
+    checkpointer = Checkpointer(
+        directory, name=program_name, every_steps=args.checkpoint_every
+    )
+    if args.resume is None:
+        resume = None
+    elif args.resume == "auto":
+        resume = checkpointer.path
+    else:
+        resume = Path(args.resume)
+    return checkpointer, resume
 
 
 def _print_degraded(result) -> None:
@@ -165,6 +212,9 @@ def _main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "resume":
+        # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
+        return _main(list(argv[1:]) + ["--resume"])
     args = build_parser().parse_args(argv)
     if args.list:
         for spec in programs.all_specs():
@@ -175,6 +225,9 @@ def _main(argv=None) -> int:
         return 2
 
     program, spec = _load(args.target)
+    name = spec.name if spec else Path(args.target).stem
+    checkpointer, resume = _checkpoint_config(args, name)
+    limits = _engine_limits(args)
 
     if args.bugs:
         report, result, _cfg = detect_bugs(program)
@@ -182,7 +235,9 @@ def _main(argv=None) -> int:
         return 0 if report.is_clean() else 1
 
     if args.constants:
-        report, result, cfg = propagate_constants(program)
+        report, result, cfg = propagate_constants(
+            program, limits=limits, checkpointer=checkpointer, resume=resume
+        )
         for node_id in sorted(report.parallel):
             print(
                 f"print at node {cfg.node(node_id).label}: "
@@ -191,9 +246,10 @@ def _main(argv=None) -> int:
             )
         return 0
 
-    limits = _engine_limits(args)
     if args.fallback:
-        report = analyze_with_fallback(program, limits=limits)
+        report = analyze_with_fallback(
+            program, limits=limits, checkpointer=checkpointer, resume=resume
+        )
         for outcome in report.rungs:
             print(f"rung {outcome.describe()}")
         print(f"answer from rung: {report.rung_name}")
@@ -207,7 +263,10 @@ def _main(argv=None) -> int:
                 print(result.topology.describe())
             return 1
     else:
-        result, cfg, client = analyze_program(program, CartesianClient(), limits)
+        result, cfg, client = analyze_program(
+            program, CartesianClient(), limits,
+            checkpointer=checkpointer, resume=resume,
+        )
         if result.confidence != diagnostics.EXACT:
             _print_degraded(result)
             return 1

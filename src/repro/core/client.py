@@ -211,3 +211,19 @@ class ClientAnalysis:
         opts the state out of interning.
         """
         return None
+
+    # -- checkpoint/resume --------------------------------------------------------
+
+    def checkpoint_extra(self):
+        """Client-side accumulators to include in an engine snapshot.
+
+        The engine's snapshot captures every state it holds, but a client
+        may accumulate knowledge *outside* those states (observed print
+        values, invariants harvested from ``assert`` transfers) that would
+        not be rebuilt by resuming — return it here as codec-encodable
+        data.  The default (None) persists nothing.
+        """
+        return None
+
+    def restore_extra(self, data) -> None:
+        """Reinstall data produced by :meth:`checkpoint_extra` on resume."""

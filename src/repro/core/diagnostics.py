@@ -47,6 +47,12 @@ BUDGET_DEADLINE = "BUDGET_DEADLINE"
 BUDGET_MEMORY = "BUDGET_MEMORY"
 #: the CFG violated a structural invariant (successor arity)
 CFG_MALFORMED = "CFG_MALFORMED"
+#: a checkpoint snapshot failed integrity checks (bad JSON, bad checksum,
+#: undecodable payload); the engine degraded to a cold start
+CHECKPOINT_CORRUPT = "CHECKPOINT_CORRUPT"
+#: a checkpoint snapshot was well-formed but belongs to a different format
+#: version, program/CFG, or client analysis; the engine degraded to a cold start
+CHECKPOINT_MISMATCH = "CHECKPOINT_MISMATCH"
 
 ALL_CODES = (
     GIVEUP_NO_MATCH,
@@ -56,12 +62,21 @@ ALL_CODES = (
     BUDGET_DEADLINE,
     BUDGET_MEMORY,
     CFG_MALFORMED,
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_MISMATCH,
 )
+
+#: the resource-budget codes: a budget trip cuts the run short without making
+#: anything recorded wrong, so these are stripped when a run is resumed from
+#: the trip's snapshot (the resumed run re-evaluates its own budgets)
+BUDGET_CODES = (BUDGET_STEPS, BUDGET_DEADLINE, BUDGET_MEMORY)
 
 # -- severities ---------------------------------------------------------------
 
 ERROR = "error"      #: precision was lost at the diagnostic's node
 WARNING = "warning"  #: the run was cut short but nothing recorded is wrong
+INFO = "info"        #: noteworthy event that does not degrade the result
+                     #: (e.g. a rejected checkpoint followed by a cold start)
 
 # -- confidence levels --------------------------------------------------------
 

@@ -24,6 +24,7 @@ rung's outcome so callers can still inspect the sharper partial results.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
@@ -57,11 +58,17 @@ class RungOutcome:
     def confidence(self) -> str:
         return self.result.confidence
 
+    @property
+    def resumed_from(self) -> str:
+        """Where this rung warm-started from ("" for a cold start)."""
+        return getattr(self.result, "resumed_from", "")
+
     def describe(self) -> str:
+        resumed = f", resumed from {self.resumed_from}" if self.resumed_from else ""
         return (
             f"{self.name}: {self.result.confidence} "
             f"({diagnostics.summarize(self.result.diagnostics)}, "
-            f"{len(self.result.matches)} matches)"
+            f"{len(self.result.matches)} matches{resumed})"
         )
 
 
@@ -104,16 +111,20 @@ def escalate(limits: EngineLimits) -> EngineLimits:
     )
 
 
-def _run_cartesian(program, limits):
+def _run_cartesian(program, limits, *, checkpointer=None, resume=None):
     from repro.analyses.cartesian import analyze_cartesian
 
-    return analyze_cartesian(program, limits=limits)
+    return analyze_cartesian(
+        program, limits=limits, checkpointer=checkpointer, resume=resume
+    )
 
 
-def _run_simple_symbolic(program, limits):
+def _run_simple_symbolic(program, limits, *, checkpointer=None, resume=None):
     from repro.analyses.simple_symbolic import analyze_program
 
-    return analyze_program(program, limits=limits)
+    return analyze_program(
+        program, limits=limits, checkpointer=checkpointer, resume=resume
+    )
 
 
 def _run_mpi_cfg_baseline(program, limits):
@@ -158,31 +169,79 @@ def default_ladder(limits: Optional[EngineLimits] = None) -> List[Rung]:
     ]
 
 
+def _supports_checkpointing(runner) -> bool:
+    """True when a rung runner accepts ``checkpointer``/``resume`` kwargs."""
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+    return "checkpointer" in params and "resume" in params
+
+
+def _carryable_snapshot(result: AnalysisResult):
+    """A budget-trip snapshot safe to warm-start the *next* rung from.
+
+    Only pure budget exhaustion qualifies: if any other (non-INFO)
+    diagnostic fired, the captured states may already be poisoned by the
+    very imprecision or fault the escalated rung exists to avoid, so the
+    next rung must cold-start.
+    """
+    snap = getattr(result, "snapshot", None)
+    if snap is None:
+        return None
+    meaningful = [d for d in result.diagnostics if d.severity != diagnostics.INFO]
+    if meaningful and all(d.code in diagnostics.BUDGET_CODES for d in meaningful):
+        return snap
+    return None
+
+
 def analyze_with_fallback(
     program_or_spec,
     limits: Optional[EngineLimits] = None,
     ladder: Optional[List[Rung]] = None,
+    *,
+    checkpointer=None,
+    resume=None,
 ) -> FallbackReport:
     """Climb the fallback ladder until a rung answers exactly.
 
     Returns a :class:`FallbackReport`; ``report.chosen`` is the first
     ``exact`` rung, or the final (baseline) rung when none is exact.
     Rungs after the winning one are not run.
+
+    ``checkpointer`` (a :class:`repro.core.checkpoint.Checkpointer`) and
+    ``resume`` (a snapshot or path for the *first* rung) are forwarded to
+    rungs whose runners accept them.  When a rung trips a budget, its
+    final snapshot warm-starts the next rung instead of recomputing the
+    explored prefix from scratch — but only when the tripped run was
+    otherwise clean (see :func:`_carryable_snapshot`); a rung whose client
+    class differs from the snapshot's is detected by the engine and falls
+    back to a cold start.
     """
     if hasattr(program_or_spec, "parse"):
         program = program_or_spec.parse()
     else:
         program = program_or_spec
     report = FallbackReport()
+    carry = resume
     for rung in ladder if ladder is not None else default_ladder(limits):
+        wants_ckpt = (checkpointer is not None or carry is not None)
         with obs.span(f"driver.rung.{rung.name}"):
-            result, cfg, client = rung.run(program, rung.limits)
+            if wants_ckpt and _supports_checkpointing(rung.run):
+                result, cfg, client = rung.run(
+                    program, rung.limits, checkpointer=checkpointer, resume=carry
+                )
+            else:
+                result, cfg, client = rung.run(program, rung.limits)
         outcome = RungOutcome(rung.name, result, cfg, client)
         report.rungs.append(outcome)
         obs.incr(f"driver.rung.{rung.name}.{result.confidence}")
+        if outcome.resumed_from:
+            obs.incr("driver.rung.warm_start")
         if result.confidence == diagnostics.EXACT:
             report.chosen = outcome
             return report
+        carry = _carryable_snapshot(result)
     # nothing exact: the last rung (the baseline, for the default ladder)
     # is the answer of record
     report.chosen = report.rungs[-1]

@@ -48,18 +48,37 @@ Resource budgets (``max_steps``, ``deadline_sec``, ``max_state_bytes``)
 end the run with a ``partial`` result plus a budget diagnostic, never an
 exception.  ``EngineLimits.strict`` restores the paper-fidelity
 abort-on-first-failure behavior; in either mode ``run()`` never raises.
+
+Checkpoint/resume
+-----------------
+
+The engine's fixpoint state is *capturable*: a budget trip snapshots the
+live worklist, per-node states, visit counts and step accounting into
+``AnalysisResult.snapshot`` (see :mod:`repro.core.checkpoint`), and a
+configured :class:`~repro.core.checkpoint.Checkpointer` additionally
+persists snapshots to disk — periodically (``every_steps``), at every
+budget trip, and from an ``atexit`` hook when the interpreter dies with a
+run in flight.  ``run(resume=...)`` warm-starts from a snapshot object or
+file after verifying the CFG fingerprint and client class; any rejected
+snapshot degrades to a cold start with a ``CHECKPOINT_CORRUPT`` /
+``CHECKPOINT_MISMATCH`` diagnostic.  Budget-trip snapshots are taken at a
+step boundary, so a resumed run replays the remaining schedule exactly and
+converges to the identical result (same topology, states and step count)
+as an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import atexit
 import heapq
 import sys
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from itertools import count
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core import checkpoint as checkpoint_mod
 from repro.core import diagnostics
 from repro.core.client import (
     Alternatives,
@@ -129,6 +148,14 @@ class AnalysisResult:
     confidence: str = EXACT  # the `diagnostics` field shadows the module here
     #: pCFG nodes that fell to ``T`` (localized degradation)
     top_nodes: Set[PCFGNodeKey] = field(default_factory=set)
+    #: budget-trip snapshot of the live fixpoint state (resume source for
+    #: later runs / the fallback ladder); None when the run completed or
+    #: the state could not be captured
+    snapshot: Optional[object] = field(default=None, repr=False, compare=False)
+    #: where this run warm-started from ("" = cold start)
+    resumed_from: str = ""
+    #: last checkpoint file written during this run, if any
+    checkpoint_path: Optional[str] = None
 
     @property
     def matches(self):
@@ -155,13 +182,18 @@ class PCFGEngine:
         client: ClientAnalysis,
         limits: Optional[EngineLimits] = None,
         intern_states: bool = True,
+        checkpointer: Optional["checkpoint_mod.Checkpointer"] = None,
     ):
         self.cfg = cfg
         self.client = client
         self.limits = limits or EngineLimits()
         self.intern_states = intern_states
+        #: on-disk checkpoint sink (None: budget-trip snapshots stay in memory)
+        self.checkpointer = checkpointer
         #: per-run hash-consing table: state fingerprint -> canonical state
         self._intern: Dict[Any, ClientState] = {}
+        #: live fixpoint state while a run is in flight (the atexit hook's view)
+        self._live: Optional[tuple] = None
         #: CFG node id -> reverse-postorder rank (worklist priority domain)
         self._rpo: Dict[int, int] = cfg.rpo_index()
 
@@ -181,24 +213,26 @@ class PCFGEngine:
 
     # -- driving -----------------------------------------------------------------
 
-    def run(self) -> AnalysisResult:
-        """Explore to fixed point and return the analysis result."""
-        with obs.span("engine.run"):
-            return self._run()
+    def run(self, resume=None) -> AnalysisResult:
+        """Explore to fixed point and return the analysis result.
 
-    def _run(self) -> AnalysisResult:
+        ``resume`` optionally warm-starts the fixpoint from a
+        :class:`~repro.core.checkpoint.Snapshot`, or a path to a snapshot
+        file.  A snapshot that fails integrity or identity checks is
+        rejected with a ``CHECKPOINT_CORRUPT`` / ``CHECKPOINT_MISMATCH``
+        diagnostic and the run degrades to a cold start — resuming never
+        raises and never taints the result.
+        """
+        with obs.span("engine.run"):
+            return self._run(resume)
+
+    def _run(self, resume=None) -> AnalysisResult:
         limits = self.limits
         result = AnalysisResult(topology=StaticTopology())
         client = self.client
         deadline = None
         if limits.deadline_sec is not None:
             deadline = time.monotonic() + limits.deadline_sec
-        try:
-            initial = self._call("initial", client.initial)
-        except _RECOVERABLE as failure:
-            self._degrade(result, None, failure)
-            self._finalize(result, aborted=True)
-            return result
 
         states: Dict[PCFGNodeKey, ClientState] = {}
         visits: Dict[PCFGNodeKey, int] = {}
@@ -209,93 +243,287 @@ class PCFGEngine:
         # The sequence number breaks priority ties FIFO.
         worklist: List[Tuple[tuple, int, PCFGNodeKey]] = []
         pending = set()
-        seq = count()
+        seq_box = [0]
 
         def enqueue(key: PCFGNodeKey) -> None:
             if key in pending:
                 obs.incr("engine.worklist.dedup")
                 return
             pending.add(key)
-            heapq.heappush(worklist, (self._priority(key), next(seq), key))
+            heapq.heappush(worklist, (self._priority(key), seq_box[0], key))
+            seq_box[0] += 1
 
-        try:
-            entry_key = self._canonicalize_into(
-                states, visits, None, [self.cfg.entry], initial, "entry", "", result
+        restored = None
+        if resume is not None:
+            restored = self._try_resume(resume, result)
+        if restored is not None:
+            restored_run, source = restored
+            result.steps = restored_run.steps
+            seq_box[0] = restored_run.seq
+            worklist = restored_run.worklist
+            heapq.heapify(worklist)  # serialized in heap order; cheap re-check
+            states = restored_run.states
+            visits = restored_run.visits
+            result.topology = restored_run.topology
+            result.final_states = restored_run.final_states
+            result.vacuous_blocks = restored_run.vacuous_blocks
+            result.explored = restored_run.explored
+            result.blocked_at_giveup = restored_run.blocked_at_giveup
+            result.top_nodes = restored_run.top_nodes
+            # Budget diagnostics describe only the interrupted run — the
+            # resumed run re-evaluates its own budgets — so strip them and
+            # recompute the give-up summary from what remains.
+            kept = [
+                diag
+                for diag in restored_run.diagnostics
+                if diag.code not in diagnostics.BUDGET_CODES
+            ]
+            result.diagnostics.extend(kept)
+            result.gave_up = any(
+                diag.severity != diagnostics.INFO for diag in kept
             )
-        except _RECOVERABLE as failure:
-            # a client raising from is_empty/merge_psets/join on the very
-            # first state must yield a gave_up result, not a traceback
-            self._degrade(result, None, failure)
-            result.node_states = states
-            self._finalize(result, aborted=True)
-            return result
-        if entry_key is not None:
-            enqueue(entry_key)
+            result.give_up_reason = next(
+                (
+                    diag.message
+                    for diag in kept
+                    if diag.severity != diagnostics.INFO
+                ),
+                "",
+            )
+            # re-intern restored states so identity fast paths fire again
+            for key in list(states):
+                states[key] = self._interned(states[key])
+            pending.update(key for _, _, key in worklist)
+            result.resumed_from = source
+            obs.incr("engine.ckpt.resumes")
+        else:
+            try:
+                initial = self._call("initial", client.initial)
+            except _RECOVERABLE as failure:
+                self._degrade(result, None, failure)
+                self._finalize(result, aborted=True)
+                return result
+            try:
+                entry_key = self._canonicalize_into(
+                    states, visits, None, [self.cfg.entry], initial, "entry", "",
+                    result,
+                )
+            except _RECOVERABLE as failure:
+                # a client raising from is_empty/merge_psets/join on the very
+                # first state must yield a gave_up result, not a traceback
+                self._degrade(result, None, failure)
+                result.node_states = states
+                self._finalize(result, aborted=True)
+                return result
+            if entry_key is not None:
+                enqueue(entry_key)
+
+        #: key popped for the current iteration, not yet fully processed —
+        #: an atexit flush must put it back to capture a consistent boundary
+        inflight_box: List[Optional[PCFGNodeKey]] = [None]
+        if self.checkpointer is not None:
+            self._live = (result, states, visits, worklist, seq_box, inflight_box)
+            atexit.register(self._atexit_flush)
 
         aborted = False
-        while worklist:
-            result.steps += 1
-            obs.incr("engine.steps")
-            obs.observe("engine.worklist.length", len(worklist))
-            if result.steps > limits.max_steps:
-                self._record_budget(
-                    result,
-                    diagnostics.BUDGET_STEPS,
-                    f"engine step limit {limits.max_steps} exceeded",
-                )
-                break
-            if deadline is not None and time.monotonic() > deadline:
-                self._record_budget(
-                    result,
-                    diagnostics.BUDGET_DEADLINE,
-                    f"wall-clock deadline {limits.deadline_sec}s exceeded "
-                    f"after {result.steps} steps",
-                )
-                break
-            if (
-                limits.max_state_bytes is not None
-                and result.steps % max(1, limits.memory_check_every) == 0
-            ):
-                usage = self._state_bytes(states)
-                if usage > limits.max_state_bytes:
+        tripped = False
+        try:
+            while worklist:
+                result.steps += 1
+                obs.incr("engine.steps")
+                obs.observe("engine.worklist.length", len(worklist))
+                if result.steps > limits.max_steps:
                     self._record_budget(
                         result,
-                        diagnostics.BUDGET_MEMORY,
-                        f"retained state ~{usage} bytes exceeds budget "
-                        f"{limits.max_state_bytes}",
+                        diagnostics.BUDGET_STEPS,
+                        f"engine step limit {limits.max_steps} exceeded",
                     )
+                    tripped = True
                     break
-            _, _, key = heapq.heappop(worklist)
-            pending.discard(key)
-            visits[key] = visits.get(key, 0) + 1
-            state = states[key]
-            try:
-                with obs.span("engine.step"):
-                    successors = self._step(key, state, result)
-            except _RECOVERABLE as failure:
-                if self._degrade(result, key, failure):
-                    continue
-                aborted = True
-                break
-            for locs, succ_state, kind, detail in successors:
-                try:
-                    succ_key = self._canonicalize_into(
-                        states, visits, key, locs, succ_state, kind, detail, result
+                if deadline is not None and time.monotonic() > deadline:
+                    self._record_budget(
+                        result,
+                        diagnostics.BUDGET_DEADLINE,
+                        f"wall-clock deadline {limits.deadline_sec}s exceeded "
+                        f"after {result.steps} steps",
                     )
+                    tripped = True
+                    break
+                if (
+                    limits.max_state_bytes is not None
+                    and result.steps % max(1, limits.memory_check_every) == 0
+                ):
+                    usage = self._state_bytes(states)
+                    if usage > limits.max_state_bytes:
+                        self._record_budget(
+                            result,
+                            diagnostics.BUDGET_MEMORY,
+                            f"retained state ~{usage} bytes exceeds budget "
+                            f"{limits.max_state_bytes}",
+                        )
+                        tripped = True
+                        break
+                _, _, key = heapq.heappop(worklist)
+                pending.discard(key)
+                inflight_box[0] = key
+                visits[key] = visits.get(key, 0) + 1
+                state = states[key]
+                try:
+                    with obs.span("engine.step"):
+                        successors = self._step(key, state, result)
                 except _RECOVERABLE as failure:
-                    # poison the producing node: this successor is lost,
-                    # siblings already enqueued stay valid
                     if self._degrade(result, key, failure):
                         continue
                     aborted = True
                     break
-                if succ_key is not None:
-                    enqueue(succ_key)
-            if aborted:
-                break
+                for locs, succ_state, kind, detail in successors:
+                    try:
+                        succ_key = self._canonicalize_into(
+                            states, visits, key, locs, succ_state, kind, detail,
+                            result,
+                        )
+                    except _RECOVERABLE as failure:
+                        # poison the producing node: this successor is lost,
+                        # siblings already enqueued stay valid
+                        if self._degrade(result, key, failure):
+                            continue
+                        aborted = True
+                        break
+                    if succ_key is not None:
+                        enqueue(succ_key)
+                if aborted:
+                    break
+                inflight_box[0] = None
+                if (
+                    self.checkpointer is not None
+                    and self.checkpointer.every_steps > 0
+                    and result.steps % self.checkpointer.every_steps == 0
+                ):
+                    with obs.span("engine.checkpoint"):
+                        snap = self._capture(
+                            result, states, visits, worklist, seq_box[0]
+                        )
+                        if snap is not None:
+                            self._write_checkpoint(snap, result)
+        finally:
+            if self.checkpointer is not None:
+                atexit.unregister(self._atexit_flush)
+                self._live = None
+        if tripped:
+            # The tripping iteration popped nothing, so the snapshot records
+            # one step fewer: a resumed run then completes with exactly the
+            # step count an uninterrupted run would report.
+            snap = self._capture(
+                result,
+                states,
+                visits,
+                worklist,
+                seq_box[0],
+                steps_override=result.steps - 1,
+            )
+            if snap is not None:
+                result.snapshot = snap
+                if self.checkpointer is not None:
+                    self._write_checkpoint(snap, result)
         result.node_states = states
         self._finalize(result, aborted)
         return result
+
+    # -- checkpoint/resume plumbing ---------------------------------------------
+
+    def _try_resume(self, resume, result: AnalysisResult):
+        """Validate and decode a resume source.
+
+        Returns ``(RestoredRun, source_description)`` on success, None on
+        any failure — recording an INFO-severity ``CHECKPOINT_*``
+        diagnostic so the cold start that follows is still ``exact`` if
+        nothing else degrades.
+        """
+        try:
+            if isinstance(resume, (str, Path)):
+                source = f"checkpoint:{resume}"
+                snapshot = checkpoint_mod.load_snapshot(resume)
+            elif isinstance(resume, checkpoint_mod.Snapshot):
+                snapshot = resume
+                source = snapshot.describe()
+            else:
+                raise checkpoint_mod.SnapshotError(
+                    diagnostics.CHECKPOINT_MISMATCH,
+                    f"unsupported resume source {type(resume).__name__}",
+                )
+            restored_run = checkpoint_mod.restore_run(snapshot, self)
+        except checkpoint_mod.SnapshotError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    code=exc.code,
+                    message=f"{exc}; falling back to a cold start",
+                    severity=diagnostics.INFO,
+                )
+            )
+            if exc.code == diagnostics.CHECKPOINT_CORRUPT:
+                obs.incr("engine.ckpt.corrupt")
+            else:
+                obs.incr("engine.ckpt.mismatch")
+            return None
+        return restored_run, source
+
+    def _capture(
+        self, result, states, visits, worklist, seq_next, steps_override=None
+    ):
+        """Best-effort snapshot of the live fixpoint state (None on failure).
+
+        Capture exercises the client's snapshot codecs; a client without
+        registered codecs simply opts out — the run itself is never
+        affected by a failed capture.
+        """
+        saved = result.steps
+        if steps_override is not None:
+            result.steps = steps_override
+        try:
+            return checkpoint_mod.capture_run(
+                self, result, states, visits, worklist, seq_next
+            )
+        except Exception:
+            obs.incr("engine.ckpt.capture_errors")
+            return None
+        finally:
+            result.steps = saved
+
+    def _write_checkpoint(self, snap, result: AnalysisResult) -> None:
+        """Persist a snapshot; a failed write never fails the run."""
+        try:
+            path = self.checkpointer.write(snap)
+            result.checkpoint_path = str(path)
+        except Exception:
+            obs.incr("engine.ckpt.write_errors")
+
+    def _atexit_flush(self) -> None:
+        """Interpreter exiting with a run in flight: flush a last snapshot.
+
+        The flush may land mid-iteration: the current key is popped, its
+        visit already counted, but its successors not yet enqueued.  The
+        snapshot rolls that iteration back — re-enqueue the key, undo its
+        visit and step — so it captures the last consistent boundary.
+        """
+        live = self._live
+        if live is None or self.checkpointer is None:
+            return
+        result, states, visits, worklist, seq_box, inflight_box = live
+        steps = result.steps
+        inflight = inflight_box[0]
+        if inflight is not None:
+            worklist = list(worklist) + [
+                (self._priority(inflight), seq_box[0], inflight)
+            ]
+            visits = dict(visits)
+            visits[inflight] = visits.get(inflight, 1) - 1
+            steps -= 1
+        snap = self._capture(
+            result, states, visits, worklist, seq_box[0], steps_override=steps
+        )
+        if snap is not None:
+            self._write_checkpoint(snap, result)
+            obs.incr("engine.ckpt.atexit_writes")
 
     # -- degradation and budgets ---------------------------------------------------
 
@@ -353,7 +581,14 @@ class PCFGEngine:
         obs.incr(f"engine.budget.{code.split('_', 1)[1].lower()}")
 
     def _finalize(self, result: AnalysisResult, aborted: bool) -> None:
-        if not result.diagnostics:
+        # INFO diagnostics (e.g. a rejected checkpoint followed by a cold
+        # start) record noteworthy events without degrading the result
+        meaningful = [
+            diag
+            for diag in result.diagnostics
+            if diag.severity != diagnostics.INFO
+        ]
+        if not meaningful:
             result.confidence = diagnostics.EXACT
         elif aborted:
             result.confidence = diagnostics.GAVE_UP

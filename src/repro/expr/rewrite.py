@@ -69,6 +69,25 @@ class InvariantSystem:
         """The oriented substitution map as a fresh dict."""
         return dict(self._subst)
 
+    # -- snapshot serialization ----------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Raw internal state for the checkpoint codec.
+
+        The substitutions are stored verbatim (already normalized against
+        each other), so restoring does not re-run ``add_equality``'s
+        re-normalization and the rebuilt system is bit-identical.
+        """
+        return {
+            "subst": dict(self._subst),
+            "positive": set(self._positive),
+        }
+
+    def restore_state(self, data: Mapping) -> None:
+        """Reinstall state produced by :meth:`snapshot_state`."""
+        self._subst = dict(data["subst"])
+        self._positive = set(data["positive"])
+
     def normalize(self, poly: PolyLike) -> Poly:
         """Rewrite ``poly`` to its canonical form under the invariants."""
         current = Poly.coerce(poly)

@@ -20,10 +20,21 @@ infrastructure, not a shipping feature.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List, Optional
 
 from repro.core.client import ClientAnalysis
+
+
+def default_seed() -> int:
+    """The harness-wide base seed: ``CHAOS_SEED`` env var, default 1337.
+
+    Reading the environment at call time (not import time) lets a test
+    process tighten the seed mid-session, matching the reproduction
+    instructions CI prints on failure.
+    """
+    return int(os.environ.get("CHAOS_SEED", "1337"))
 
 #: callbacks the engine routes through its fault guard; chaos can hit any
 FAULTABLE = (
@@ -90,13 +101,14 @@ class ChaosClient(ClientAnalysis):
     def __init__(
         self,
         inner: ClientAnalysis,
-        seed: int,
+        seed: Optional[int] = None,
         fault_rate: float = 0.05,
         corrupt_rate: float = 0.3,
         only: Optional[List[str]] = None,
     ):
         self.inner = inner
-        self.rng = random.Random(seed)
+        self.seed = default_seed() if seed is None else seed
+        self.rng = random.Random(self.seed)
         self.fault_rate = fault_rate
         #: of the injected faults on CORRUPTIBLE callbacks, the fraction
         #: that corrupt the return value instead of raising

@@ -18,8 +18,6 @@ termination/no-crash guarantee.)
 
 from __future__ import annotations
 
-import os
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -30,11 +28,11 @@ from repro.core.diagnostics import CLIENT_FAULT
 from repro.core.engine import EngineLimits, PCFGEngine
 from repro.lang import programs
 from repro.lang.cfg import build_cfg
-from tests.core.chaos import ChaosClient
+from tests.core.chaos import ChaosClient, default_seed
 
 pytestmark = pytest.mark.chaos
 
-CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+CHAOS_SEED = default_seed()
 
 #: full corpus: every program must survive chaos without an exception
 CORPUS = [spec.name for spec in programs.all_specs()]
