@@ -11,6 +11,9 @@
 #   resume-smoke-> interrupt an analysis (deadline / step budget) with
 #                  checkpointing on, `repro resume` it, and diff the output
 #                  against an uninterrupted run (must be byte-identical)
+#   explain-smoke> budget-trip a run under `repro explain --why-top`, require
+#                  the causal chain back to run_start, and schema-check the
+#                  exported Chrome trace
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -65,6 +68,21 @@ step "resume-smoke: step-tripped topology run" bash -c '
       --checkpoint-dir .ci-ckpt > .ci-ckpt/resumed.txt &&
   diff .ci-ckpt/clean.txt .ci-ckpt/resumed.txt &&
   rm -rf .ci-ckpt'
+step "explain-smoke: budget-tripped run explains itself" bash -c '
+  python -m repro explain pingpong --max-steps 3 --why-top \
+      --trace explain-trace.json > explain.txt &&
+  grep -q "why-top: \[BUDGET_STEPS\]" explain.txt &&
+  grep -q "budget_trip" explain.txt &&
+  grep -q "#1 run_start" explain.txt &&
+  rm -f explain.txt'
+step "explain-smoke: Chrome trace schema check" bash -c '
+  python -c "
+import json
+from repro.obs.export import validate_chrome_trace
+document = json.load(open(\"explain-trace.json\"))
+validate_chrome_trace(document)
+assert [e for e in document[\"traceEvents\"] if e[\"ph\"] == \"X\"]
+" && rm -f explain-trace.json'
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json

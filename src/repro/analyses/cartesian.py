@@ -17,10 +17,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.simple_symbolic import (
+    _TRACE_CAP,
     Pending,
     PSetEntry,
     SimpleSymbolicClient,
     SymbolicState,
+    _cap_list,
     _pretty,
 )
 from repro.cgraph.namespaces import qualify
@@ -46,6 +48,8 @@ class CartesianClient(SimpleSymbolicClient):
         self.invariants = InvariantSystem()
         self.invariants.assume_positive("np")
         self.prover = HSMProver(self.invariants)
+        #: provenance narration of the current call's HSM prover queries
+        self._proof_trace: Optional[list] = None
 
     # -- invariant collection ---------------------------------------------------
 
@@ -149,10 +153,22 @@ class CartesianClient(SimpleSymbolicClient):
         return new
 
     def try_match(self, state, locs, blocked, cfg) -> List[MatchResult]:
-        results = super().try_match(state, locs, blocked, cfg)
-        if results:
-            return results
-        return self._hsm_match(state, locs, cfg)
+        results = super().try_match(state, locs, blocked, cfg)  # arms _match_trace
+        self._proof_trace = [] if self._match_trace is not None else None
+        self.prover.trace = self._proof_trace
+        try:
+            if results:
+                return results
+            return self._hsm_match(state, locs, cfg)
+        finally:
+            self.prover.trace = None
+
+    def match_explanation(self):
+        data = super().match_explanation() or {}
+        if self._proof_trace:
+            # the raw set/seq-equality queries behind the HSM verdicts
+            data["hsm_proofs"] = _cap_list(self._proof_trace)
+        return data or None
 
     def _hsm_match(self, state: SymbolicState, locs: Sequence[int], cfg) -> List[MatchResult]:
         receivers = [
@@ -231,21 +247,42 @@ class CartesianClient(SimpleSymbolicClient):
             return None
         receiver_set = pset_to_hsm(r_start, r_size)
 
+        trace = self._match_trace
+        record = None
+        if trace is not None and len(trace) < _TRACE_CAP:
+            record = {
+                "kind": "hsm",
+                "send_node": send_node.node_id,
+                "recv_node": recv_node.node_id,
+                "in_flight": pending[0] if pending else None,
+                "send_hsm": str(send_hsm),
+                "receiver_set": str(receiver_set),
+            }
+            trace.append(record)
+
         # (ii) surjection: the send expression maps senders onto receivers
-        if not self.prover.set_equal(send_hsm, receiver_set):
+        surjection = self.prover.set_equal(send_hsm, receiver_set)
+        if record is not None:
+            record["surjection"] = surjection
+        if not surjection:
             return None
         # (i) identity: receive expr applied to the send image yields senders
         composed = expr_to_hsm(
             recv_stmt.src, send_hsm, self.invariants
         )
         if composed is None:
+            if record is not None:
+                record["identity"] = "recv expression not HSM-convertible"
             return None
         s_size = _range_size_poly(s_rng)
         s_start = _bound_poly(s_rng.lb)
         if s_size is None or s_start is None:
             return None
         sender_set = pset_to_hsm(s_start, s_size)
-        if not self.prover.seq_equal(composed, sender_set):
+        identity = self.prover.seq_equal(composed, sender_set)
+        if record is not None:
+            record["identity"] = identity
+        if not identity:
             return None
 
         new = state.copy()

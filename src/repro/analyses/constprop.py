@@ -35,6 +35,17 @@ class ConstantPropagationClient(SimpleSymbolicClient):
             return None
         return next(iter(observed))
 
+    def describe_transfer(self, old, new):
+        data = super().describe_transfer(old, new)
+        if data and "printed" in data:
+            # annotate the event with the running verdict: does this print
+            # site still print one provable constant across all worlds?
+            constant = self.printed_constant(data["printed"]["node"])
+            data["printed"]["proven_constant"] = (
+                constant if constant is not None else "not constant"
+            )
+        return data
+
 
 @dataclass
 class ConstPropReport:

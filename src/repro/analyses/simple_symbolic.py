@@ -31,7 +31,7 @@ import re
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cgraph.constraint_graph import ConstraintGraph
+from repro.cgraph.constraint_graph import ConstraintGraph, edge_diff
 from repro.cgraph.namespaces import GLOBALS, qualify
 from repro.cgraph.stats import ClosureStats
 from repro.core.client import (
@@ -60,10 +60,21 @@ from repro.lang.ast import (
     Var,
 )
 from repro.lang.cfg import CFGNode, NodeKind
+from repro.obs import provenance
 from repro.obs import recorder as obs
 from repro.procset.interval import Bound, ProcSet, SymRange
 
 _NS_PATTERN = re.compile(r"ps\d+::")
+
+#: per-event caps on provenance payloads (match-trace records, diff lines)
+#: — explain output stays readable and events stay cheap to serialize
+_TRACE_CAP = 32
+
+
+def _cap_list(items: list, cap: int = _TRACE_CAP) -> list:
+    if len(items) <= cap:
+        return items
+    return items[:cap] + [f"... +{len(items) - cap} more"]
 
 
 @dataclass(frozen=True)
@@ -146,6 +157,14 @@ class SimpleSymbolicClient(ClientAnalysis):
         self.print_observations: Dict[int, Set[Optional[int]]] = {}
         #: (graph fingerprint, ranges) -> enriched ProcSet (see ``_enrich``)
         self._enrich_memo: Dict[tuple, ProcSet] = {}
+        #: provenance narration of the current ``try_match`` call: one
+        #: record per candidate pair examined.  None whenever the flight
+        #: recorder is disabled, so matching stays trace-free by default.
+        self._match_trace: Optional[list] = None
+        #: last PRINT-node observation ``(node_id, value)`` — consumed by
+        #: ``describe_transfer`` so a print's derived fact lands on the
+        #: event of the transition that established it
+        self._last_print: Optional[tuple] = None
 
     # ------------------------------------------------------------------ basics
 
@@ -249,6 +268,8 @@ class SimpleSymbolicClient(ClientAnalysis):
             expr = self.affine(node.stmt.value, entry.uid)
             value = state.cg.eval_const(expr) if expr is not None else None
             self.print_observations.setdefault(node.node_id, set()).add(value)
+            if provenance.enabled():
+                self._last_print = (node.node_id, value)
             return state
         if node.kind == NodeKind.ASSERT:
             assert isinstance(node.stmt, Assert)
@@ -607,7 +628,38 @@ class SimpleSymbolicClient(ClientAnalysis):
     # ------------------------------------------------------------------ matching
 
     def try_match(self, state, locs, blocked, cfg) -> List[MatchResult]:
+        self._match_trace = [] if provenance.enabled() else None
         return self._match_search(state, locs, cfg, self.ambiguity_depth)
+
+    def match_explanation(self):
+        trace = self._match_trace
+        if not trace:
+            return None
+        return {"attempts": trace}
+
+    def describe_transfer(self, old, new):
+        data: dict = {}
+        new_psets = [_pretty(str(entry.pset)) for entry in new.psets]
+        if old is None or new_psets != [
+            _pretty(str(entry.pset)) for entry in old.psets
+        ]:
+            data["psets"] = new_psets
+        diff = edge_diff(old.cg if old is not None else None, new.cg)
+        if diff is not None:
+            data["constraints"] = {
+                key: _cap_list(value) if isinstance(value, list) else value
+                for key, value in diff.items()
+            }
+        if old is not None and new.pendings != old.pendings:
+            data["in_flight"] = [p.send_node for p in new.pendings]
+        if self._last_print is not None:
+            node_id, value = self._last_print
+            self._last_print = None
+            data["printed"] = {
+                "node": node_id,
+                "value": value if value is not None else "unknown",
+            }
+        return data or None
 
     def _match_search(
         self, state: SymbolicState, locs: Sequence[int], cfg, depth: int
@@ -669,8 +721,45 @@ class SimpleSymbolicClient(ClientAnalysis):
             results.extend(self._match_search(world_false, locs, cfg, depth - 1))
         return results
 
-    # The heart: one (sender or pending) x (receiver) matching attempt.
     def _attempt(
+        self,
+        state: SymbolicState,
+        cfg,
+        s_pos: Optional[int],
+        send_node: CFGNode,
+        pending: Optional[Tuple[int, Pending]],
+        r_pos: int,
+        recv_node: CFGNode,
+    ):
+        """One candidate pair, with provenance narration when enabled."""
+        outcome = self._attempt_pair(
+            state, cfg, s_pos, send_node, pending, r_pos, recv_node
+        )
+        trace = self._match_trace
+        if trace is not None and len(trace) < _TRACE_CAP:
+            if outcome is None:
+                verdict = "no provable match"
+            elif isinstance(outcome, _Ambiguous):
+                verdict = (
+                    f"ambiguous: is {outcome.lhs} <= {outcome.rhs}? "
+                    "(worlds split on both answers)"
+                )
+            else:
+                verdict = (
+                    f"matched {outcome.sender_desc} -> {outcome.receiver_desc}"
+                )
+            trace.append(
+                {
+                    "send_node": send_node.node_id,
+                    "recv_node": recv_node.node_id,
+                    "in_flight": pending[0] if pending else None,
+                    "verdict": verdict,
+                }
+            )
+        return outcome
+
+    # The heart: one (sender or pending) x (receiver) matching attempt.
+    def _attempt_pair(
         self,
         state: SymbolicState,
         cfg,

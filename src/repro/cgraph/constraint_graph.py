@@ -930,3 +930,53 @@ class ConstraintGraph:
             for dst, c in sorted(self._bound[src].items()):
                 parts.append(f"{dst} <= {src} + {c}")
         return f"ConstraintGraph({'; '.join(parts)})"
+
+
+def edge_diff(
+    old: Optional["ConstraintGraph"], new: Optional["ConstraintGraph"]
+) -> Optional[dict]:
+    """JSON-plain diff of two graphs' explicit constraint sets.
+
+    The provenance flight recorder attaches this to transfer/join/widen
+    events so ``repro explain`` can show exactly which difference bounds an
+    event added, dropped, or loosened.  Constraints render as the
+    ``y <= x + c`` inequalities they encode.  Returns None when nothing
+    changed (so silent transfers attach no data); ``old=None`` reports the
+    entire new graph as added.
+    """
+    before = {} if old is None else {
+        (src, dst): c for src, dst, c in old._edge_items()
+    }
+    after = {} if new is None else {
+        (src, dst): c for src, dst, c in new._edge_items()
+    }
+
+    def _render(src: str, dst: str, c: int) -> str:
+        return f"{dst} <= {c}" if src == ZERO else f"{dst} <= {src} + {c}"
+
+    added = [
+        _render(src, dst, c)
+        for (src, dst), c in sorted(after.items())
+        if (src, dst) not in before
+    ]
+    removed = [
+        _render(src, dst, before[(src, dst)])
+        for (src, dst) in sorted(before)
+        if (src, dst) not in after
+    ]
+    changed = [
+        f"{_render(src, dst, before[(src, dst)])} -> {_render(src, dst, c)}"
+        for (src, dst), c in sorted(after.items())
+        if (src, dst) in before and before[(src, dst)] != c
+    ]
+    diff: dict = {}
+    if added:
+        diff["added"] = added
+    if removed:
+        diff["removed"] = removed
+    if changed:
+        diff["changed"] = changed
+    if old is not None and new is not None:
+        if old.infeasible != new.infeasible:
+            diff["infeasible"] = new.infeasible
+    return diff or None

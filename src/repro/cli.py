@@ -10,11 +10,15 @@ Examples::
     python -m repro profile mdcask_full            # Section IX cost profile
     python -m repro mdcask_full --checkpoint-dir . # crash-safe snapshots
     python -m repro resume mdcask_full             # continue an interrupted run
+    python -m repro explain pingpong --why-match   # causal chain of a match
+    python -m repro explain bad --why-top          # why did a node fall to T?
+    python -m repro profile pingpong --trace t.json  # Perfetto timeline
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -28,8 +32,18 @@ from repro.core.driver import analyze_with_fallback
 from repro.core.engine import EngineLimits
 from repro.core.errors import GiveUp, MalformedCFG
 from repro.lang import parse, programs
-from repro.obs import profile_program
+from repro.obs import export, profile_program, provenance, slog
 from repro.runtime import DeadlockError
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=sorted(slog.LEVELS),
+        help="mirror recorder events to stderr as single-line JSON at this "
+             "level (debug|info|warning|error); the REPRO_LOG environment "
+             "variable sets the same knob",
+    )
 
 
 def _load(target: str):
@@ -106,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
              "target's snapshot in the checkpoint directory (a missing or "
              "stale snapshot degrades to a cold start, never an error)",
     )
+    _add_log_level(parser)
     return parser
 
 
@@ -176,14 +191,39 @@ def build_profile_parser() -> argparse.ArgumentParser:
         "--naive", action="store_true",
         help="profile the naive full-reclosure strategy instead",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also record provenance and export a Chrome trace (load in "
+             "chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="also record provenance and export the JSONL event journal",
+    )
+    _add_log_level(parser)
     return parser
 
 
 def profile_main(argv) -> int:
     args = build_profile_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
     program, spec = _load(args.target)
     name = spec.name if spec else Path(args.target).stem
-    profile, result = profile_program(program, name=name, naive=args.naive)
+    if args.trace or args.journal:
+        # spill evicted events straight into the journal file so the
+        # exported history is complete even past the ring capacity
+        with provenance.recording(spill_path=args.journal) as prov:
+            profile, result = profile_program(program, name=name, naive=args.naive)
+        if args.trace:
+            export.write_chrome_trace(args.trace, prov, process_name=name)
+            print(f"wrote Chrome trace: {args.trace} "
+                  f"({prov.total_events} events)")
+        if args.journal:
+            export.write_journal(args.journal, prov)
+            print(f"wrote event journal: {args.journal}")
+    else:
+        profile, result = profile_program(program, name=name, naive=args.naive)
     print(profile.table())
     if not args.no_json:
         Path(args.json_path).write_text(profile.to_json())
@@ -192,6 +232,188 @@ def profile_main(argv) -> int:
         print(f"analysis gave up (T): {result.give_up_reason}")
         return 1
     return 0
+
+
+# -- repro explain -------------------------------------------------------------
+
+_EXPLAIN_CLIENTS = ("cartesian", "simple-symbolic", "constprop")
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Re-run an analysis with the provenance flight recorder "
+                    "on and walk the derivation DAG backward: why did a node "
+                    "fall to T, why did (or didn't) a match fire, how was a "
+                    "node's state derived?",
+    )
+    parser.add_argument("target", help="MPL file or corpus program name")
+    parser.add_argument(
+        "--client", choices=_EXPLAIN_CLIENTS, default="cartesian",
+        help="client analysis to run (default: cartesian)",
+    )
+    parser.add_argument(
+        "--why-top", action="store_true",
+        help="explain the first degradation: the causal chain from the "
+             "entry to the event (match failure, widen, client fault, "
+             "budget trip) that degraded the run",
+    )
+    parser.add_argument(
+        "--why-match", action="store_true",
+        help="explain send-receive matching: the causal chain behind each "
+             "established match, or the last failed attempts when none was",
+    )
+    parser.add_argument(
+        "--node", default=None, metavar="LOCS",
+        help="explain one pCFG node: comma-separated CFG node ids, e.g. "
+             "'3,7' (see the node keys in diagnostics/topology output)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export the run's Chrome trace (Perfetto-loadable JSON)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="export the run's JSONL event journal",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=provenance.DEFAULT_CAPACITY,
+        metavar="N", help="flight-recorder ring capacity in events",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="paper-fidelity mode (abort on first failure)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="engine step budget (default: 20000)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="wall-clock budget for the engine run, in seconds",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def _explain_client(name: str):
+    if name == "simple-symbolic":
+        from repro.analyses.simple_symbolic import SimpleSymbolicClient
+
+        return SimpleSymbolicClient()
+    if name == "constprop":
+        from repro.analyses.constprop import ConstantPropagationClient
+
+        return ConstantPropagationClient()
+    return CartesianClient()
+
+
+def _print_chain(prov, event_id, cfg, header: str) -> bool:
+    """Print one causal chain (oldest first); False when unresolvable."""
+    chain = prov.chain(event_id)
+    if not chain:
+        return False
+    print(header)
+    for depth, event in enumerate(chain):
+        indent = "  " * min(depth, 8)
+        print(f"  {indent}{event.describe(cfg)}")
+        if event.data:
+            rendered = json.dumps(event.data, sort_keys=True, default=str)
+            if len(rendered) > 240:
+                rendered = rendered[:240] + "..."
+            print(f"  {indent}  data: {rendered}")
+    return True
+
+
+def explain_main(argv) -> int:
+    args = build_explain_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
+    program, _spec = _load(args.target)
+    limits = EngineLimits(strict=args.strict, deadline_sec=args.deadline)
+    if args.max_steps is not None:
+        limits.max_steps = args.max_steps
+    client = _explain_client(args.client)
+    with provenance.recording(capacity=args.capacity, spill_path=args.journal) as prov:
+        result, cfg, client = analyze_program(program, client, limits)
+
+    print(
+        f"confidence: {result.confidence} "
+        f"({diagnostics.summarize(result.diagnostics)}); "
+        f"{prov.total_events} provenance events, {result.steps} engine steps"
+    )
+    if args.trace:
+        export.write_chrome_trace(args.trace, prov)
+        print(f"wrote Chrome trace: {args.trace}")
+    if args.journal:
+        export.write_journal(args.journal, prov)
+        print(f"wrote event journal: {args.journal}")
+
+    status = 0
+    explained = False
+    if args.why_top:
+        explained = True
+        traced = [d for d in result.diagnostics if d.provenance_id is not None]
+        if not traced:
+            print("why-top: nothing degraded — the run needed no T and "
+                  "tripped no budget")
+            status = 1
+        for diag in traced:
+            ok = _print_chain(
+                prov, diag.provenance_id, cfg,
+                f"why-top: [{diag.code}] {diag.message}",
+            )
+            if not ok:
+                print(f"why-top: [{diag.code}] provenance event "
+                      f"#{diag.provenance_id} no longer resolvable "
+                      "(evicted without a spill file)")
+                status = 1
+    if args.why_match:
+        explained = True
+        matches = [e for e in prov.events() if e.kind == "match"]
+        if matches:
+            for event in matches:
+                _print_chain(
+                    prov, event.event_id, cfg,
+                    f"why-match: {event.detail}",
+                )
+        else:
+            attempts = [e for e in prov.events() if e.kind == "match_attempt"]
+            if attempts:
+                _print_chain(
+                    prov, attempts[-1].event_id, cfg,
+                    "why-match: no match established; last attempt:",
+                )
+            else:
+                print("why-match: no send-receive matching occurred")
+                status = 1
+    if args.node:
+        explained = True
+        try:
+            locs = tuple(int(part) for part in args.node.split(",") if part.strip())
+        except ValueError:
+            raise SystemExit(f"error: --node expects comma-separated CFG "
+                             f"node ids, got {args.node!r}")
+        events = prov.events_for_node(locs)
+        if not events:
+            print(f"node {locs}: no recorded events (node never reached, or "
+                  "evicted from the ring — raise --capacity)")
+            status = 1
+        else:
+            _print_chain(
+                prov, events[-1].event_id, cfg,
+                f"node {locs}: derivation of its current state",
+            )
+    if not explained:
+        # no question asked: summarize the journal
+        counts = prov.kind_counts()
+        print("event kinds: " + ", ".join(
+            f"{count}x {kind}" for kind, count in sorted(counts.items())
+        ))
+        last = prov.last_event_id
+        if last is not None:
+            _print_chain(prov, last, cfg, "causal chain of the last event:")
+    return status
 
 
 def main(argv=None) -> int:
@@ -210,12 +432,17 @@ def main(argv=None) -> int:
 def _main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    slog.configure_from_env()
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     if argv and argv[0] == "resume":
         # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
         return _main(list(argv[1:]) + ["--resume"])
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
     if args.list:
         for spec in programs.all_specs():
             print(f"{spec.name:26s} {spec.paper_ref:18s} {spec.pattern}")

@@ -51,6 +51,7 @@ from repro.core import diagnostics
 from repro.core.diagnostics import Diagnostic
 from repro.core.pcfg import ExploredPCFG, PCFGEdge
 from repro.core.topology import MatchRecord, StaticTopology
+from repro.obs import provenance
 from repro.obs import recorder as obs
 
 #: snapshot format version; bump on any incompatible payload change
@@ -300,6 +301,11 @@ def capture_run(engine, result, states, visits, worklist, seq_next) -> Snapshot:
         },
         "client_extra": encode(client.checkpoint_extra()),
     }
+    prov = provenance.active()
+    if prov is not None:
+        # the flight-recorder journal rides along (already JSON-plain), so
+        # a resumed run continues the interrupted run's causal history
+        payload["provenance"] = prov.snapshot_state()
     return Snapshot(payload=payload)
 
 
@@ -321,6 +327,9 @@ class RestoredRun:
     blocked_at_giveup: list
     diagnostics: list
     top_nodes: set
+    #: flight-recorder journal captured with the snapshot (None when the
+    #: interrupted run had provenance disabled, or for older snapshots)
+    provenance: Optional[dict] = None
 
 
 def restore_run(snapshot: Snapshot, engine) -> RestoredRun:
@@ -370,6 +379,7 @@ def restore_run(snapshot: Snapshot, engine) -> RestoredRun:
             blocked_at_giveup=list(decode(result_part["blocked_at_giveup"])),
             diagnostics=decode(result_part["diagnostics"]),
             top_nodes=decode(result_part["top_nodes"]),
+            provenance=payload.get("provenance"),
         )
         engine.client.restore_extra(decode(payload.get("client_extra")))
     except SnapshotError:
@@ -529,6 +539,7 @@ def _register_builtin_codecs() -> None:
             "node_key": diag.node_key,
             "blocked": diag.blocked,
             "callback": diag.callback,
+            "provenance_id": diag.provenance_id,
         },
         lambda d: Diagnostic(**d),
     )

@@ -212,6 +212,36 @@ class ClientAnalysis:
         """
         return None
 
+    # -- provenance ---------------------------------------------------------------
+
+    def describe_transfer(self, old: Optional[ClientState], new: ClientState):
+        """Provenance delta between two states, as JSON-plain data (or None).
+
+        Called by the engine *only* while the provenance flight recorder is
+        enabled, once per state-changing event: for a transition, ``old``
+        is the source node's state (None for the entry event); for a
+        join/widen, ``old`` is the target node's previous state.  The
+        returned mapping is attached verbatim to the provenance event —
+        clients report whatever makes their derivation auditable
+        (constraint-graph edge diffs, pset ranges, prover verdicts).
+        Exceptions are contained by the engine and recorded in the event
+        instead of degrading the run.  The default reports nothing.
+        """
+        return None
+
+    def match_explanation(self):
+        """The last ``try_match`` call's reasoning, as JSON-plain data.
+
+        Polled by the engine after each match attempt *only* while
+        provenance is enabled; returning a mapping attaches a
+        ``match_attempt`` event carrying it (candidate pairs considered,
+        surjection / identity-composition verdicts, prover traces).
+        Returning None (the default) suppresses the event — clients should
+        return data only when a candidate pair was actually examined, so
+        unblocked steps stay silent.
+        """
+        return None
+
     # -- checkpoint/resume --------------------------------------------------------
 
     def checkpoint_extra(self):

@@ -102,6 +102,11 @@ class Diagnostic:
     node_key: Optional[PCFGNodeKey] = None
     blocked: Tuple[Tuple[int, str], ...] = ()
     callback: str = ""
+    #: id of the provenance event recording this degradation — links the
+    #: diagnostic into the flight recorder's derivation DAG, so
+    #: ``repro explain --why-top`` can walk its causal chain.  None when
+    #: provenance was disabled during the run.
+    provenance_id: Optional[int] = None
 
     def format(self) -> str:
         """One-line human-readable rendering."""

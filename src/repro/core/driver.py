@@ -32,6 +32,7 @@ from repro.core import diagnostics
 from repro.core.engine import AnalysisResult, EngineLimits
 from repro.core.topology import MatchRecord, StaticTopology
 from repro.obs import recorder as obs
+from repro.obs import slog
 
 RungRunner = Callable[[object, EngineLimits], Tuple[AnalysisResult, object, object]]
 
@@ -238,11 +239,27 @@ def analyze_with_fallback(
         obs.incr(f"driver.rung.{rung.name}.{result.confidence}")
         if outcome.resumed_from:
             obs.incr("driver.rung.warm_start")
+        slog.info(
+            "driver.rung",
+            name=rung.name,
+            confidence=result.confidence,
+            matches=len(result.matches),
+            diagnostics=diagnostics.summarize(result.diagnostics),
+            resumed_from=outcome.resumed_from or None,
+        )
         if result.confidence == diagnostics.EXACT:
             report.chosen = outcome
+            slog.info(
+                "driver.chosen", name=outcome.name, confidence=diagnostics.EXACT
+            )
             return report
         carry = _carryable_snapshot(result)
     # nothing exact: the last rung (the baseline, for the default ladder)
     # is the answer of record
     report.chosen = report.rungs[-1]
+    slog.info(
+        "driver.chosen",
+        name=report.chosen.name,
+        confidence=report.chosen.confidence,
+    )
     return report

@@ -93,10 +93,18 @@ from repro.core.errors import ClientFault, GiveUp, MalformedCFG
 from repro.core.pcfg import ExploredPCFG, PCFGEdge, PCFGNodeKey
 from repro.core.topology import MatchRecord, StaticTopology
 from repro.lang.cfg import CFG, NodeKind
+from repro.obs import provenance, slog
 from repro.obs import recorder as obs
 
 #: exceptions the run loop localizes to a ``T`` at one pCFG node
 _RECOVERABLE = (GiveUp, ClientFault, MalformedCFG)
+
+#: recoverable-failure type -> provenance event kind / slog event name
+_FAILURE_KINDS = {
+    ClientFault: "client_fault",
+    MalformedCFG: "cfg_malformed",
+    GiveUp: "giveup",
+}
 
 
 @dataclass
@@ -196,6 +204,12 @@ class PCFGEngine:
         self._live: Optional[tuple] = None
         #: CFG node id -> reverse-postorder rank (worklist priority domain)
         self._rpo: Dict[int, int] = cfg.rpo_index()
+        #: the provenance flight recorder active for the current run (None
+        #: when disabled — every emit site guards on this, so a disabled
+        #: run pays one attribute check per site)
+        self._prov: Optional[provenance.ProvenanceRecorder] = None
+        #: provenance id of the current run's root event
+        self._run_event: Optional[int] = None
 
     # -- client-callback guard ---------------------------------------------------
 
@@ -210,6 +224,15 @@ class PCFGEngine:
             raise
         except Exception as exc:
             raise ClientFault(callback, exc) from exc
+
+    @staticmethod
+    def _safe_provenance_data(fn, *args):
+        """Call a client provenance hook; a buggy hook must never degrade
+        the run, so any exception becomes an error marker in the event."""
+        try:
+            return fn(*args)
+        except Exception as exc:
+            return {"provenance_hook_error": f"{type(exc).__name__}: {exc}"}
 
     # -- driving -----------------------------------------------------------------
 
@@ -230,6 +253,20 @@ class PCFGEngine:
         limits = self.limits
         result = AnalysisResult(topology=StaticTopology())
         client = self.client
+        prov = self._prov = provenance.active()
+        if prov is not None:
+            self._run_event = prov.emit(
+                "run_start",
+                detail=f"client={type(client).__name__}",
+                data={"cfg_nodes": len(self.cfg.nodes), "limits": {
+                    "max_steps": limits.max_steps,
+                    "widen_after": limits.widen_after,
+                    "max_psets": limits.max_psets,
+                    "strict": limits.strict,
+                }},
+            )
+        else:
+            self._run_event = None
         deadline = None
         if limits.deadline_sec is not None:
             deadline = time.monotonic() + limits.deadline_sec
@@ -296,6 +333,19 @@ class PCFGEngine:
             pending.update(key for _, _, key in worklist)
             result.resumed_from = source
             obs.incr("engine.ckpt.resumes")
+            if prov is not None:
+                # splice the interrupted run's journal in front of ours so
+                # the resumed causal history is seamless, then record the
+                # stitch point
+                if restored_run.provenance:
+                    prov.preload(restored_run.provenance)
+                self._run_event = prov.emit(
+                    "checkpoint_resume",
+                    parents=(prov.last_event_id,),
+                    detail=source,
+                    step=result.steps,
+                )
+            slog.info("engine.resume", source=source, steps=result.steps)
         else:
             try:
                 initial = self._call("initial", client.initial)
@@ -453,17 +503,27 @@ class PCFGEngine:
                 )
             restored_run = checkpoint_mod.restore_run(snapshot, self)
         except checkpoint_mod.SnapshotError as exc:
+            prov = self._prov
+            event_id = None
+            if prov is not None:
+                event_id = prov.emit(
+                    "checkpoint_rejected",
+                    parents=(self._run_event,),
+                    detail=f"{exc.code}: {exc}",
+                )
             result.diagnostics.append(
                 Diagnostic(
                     code=exc.code,
                     message=f"{exc}; falling back to a cold start",
                     severity=diagnostics.INFO,
+                    provenance_id=event_id,
                 )
             )
             if exc.code == diagnostics.CHECKPOINT_CORRUPT:
                 obs.incr("engine.ckpt.corrupt")
             else:
                 obs.incr("engine.ckpt.mismatch")
+            slog.warning("engine.resume_rejected", code=exc.code, error=str(exc))
             return None
         return restored_run, source
 
@@ -496,6 +556,20 @@ class PCFGEngine:
             result.checkpoint_path = str(path)
         except Exception:
             obs.incr("engine.ckpt.write_errors")
+            return
+        prov = self._prov
+        if prov is not None:
+            prov.emit(
+                "checkpoint_write",
+                parents=(
+                    prov.last_event_id
+                    if prov.last_event_id is not None
+                    else self._run_event,
+                ),
+                detail=str(path),
+                step=result.steps,
+            )
+        slog.info("engine.checkpoint", path=str(path), steps=result.steps)
 
     def _atexit_flush(self) -> None:
         """Interpreter exiting with a run in flight: flush a last snapshot.
@@ -537,12 +611,24 @@ class PCFGEngine:
 
         Returns True when the run may continue draining the worklist
         (non-strict mode), False when it must abort (strict mode)."""
+        prov = self._prov
+        event_id = None
+        if prov is not None:
+            parent = prov.node_event.get(key) if key is not None else None
+            event_id = prov.emit(
+                _FAILURE_KINDS[type(failure)],
+                node_key=key,
+                parents=(parent if parent is not None else self._run_event,),
+                detail=str(failure),
+                step=result.steps,
+            )
         if isinstance(failure, ClientFault):
             diag = Diagnostic(
                 code=diagnostics.CLIENT_FAULT,
                 message=str(failure),
                 node_key=key,
                 callback=failure.callback,
+                provenance_id=event_id,
             )
             obs.incr("engine.recover.client_fault")
         elif isinstance(failure, MalformedCFG):
@@ -550,6 +636,7 @@ class PCFGEngine:
                 code=diagnostics.CFG_MALFORMED,
                 message=str(failure),
                 node_key=key,
+                provenance_id=event_id,
             )
         else:  # GiveUp
             diag = Diagnostic(
@@ -557,9 +644,18 @@ class PCFGEngine:
                 message=failure.reason,
                 node_key=key,
                 blocked=tuple((nid, desc) for nid, desc in failure.blocked),
+                provenance_id=event_id,
             )
             result.blocked_at_giveup.extend(failure.blocked)
         result.diagnostics.append(diag)
+        slog.warning(
+            "engine.degrade",
+            code=diag.code,
+            node=list(key[0]) if key is not None else None,
+            step=result.steps,
+            strict=self.limits.strict,
+            message=diag.message,
+        )
         result.gave_up = True
         if not result.give_up_reason:
             result.give_up_reason = diag.message
@@ -572,13 +668,34 @@ class PCFGEngine:
 
     def _record_budget(self, result: AnalysisResult, code: str, message: str) -> None:
         """A resource budget tripped: end the run as a sound partial result."""
+        prov = self._prov
+        event_id = None
+        if prov is not None:
+            event_id = prov.emit(
+                "budget_trip",
+                parents=(
+                    prov.last_event_id
+                    if prov.last_event_id is not None
+                    else self._run_event,
+                ),
+                detail=f"{code}: {message}",
+                step=result.steps,
+            )
         result.diagnostics.append(
-            Diagnostic(code=code, message=message, severity=diagnostics.WARNING)
+            Diagnostic(
+                code=code,
+                message=message,
+                severity=diagnostics.WARNING,
+                provenance_id=event_id,
+            )
         )
         result.gave_up = True
         if not result.give_up_reason:
             result.give_up_reason = message
         obs.incr(f"engine.budget.{code.split('_', 1)[1].lower()}")
+        slog.warning(
+            "engine.budget", code=code, step=result.steps, message=message
+        )
 
     def _finalize(self, result: AnalysisResult, aborted: bool) -> None:
         # INFO diagnostics (e.g. a rejected checkpoint followed by a cold
@@ -611,14 +728,33 @@ class PCFGEngine:
     ) -> List[Tuple[List[int], ClientState, str, str]]:
         locs = list(key[0])
         client = self.client
+        prov = self._prov
         blocked = [self._is_blocking(nid) for nid in locs]
 
         # 1. send-receive matching (possibly several alternative worlds)
+        match_start = time.perf_counter() if prov is not None else 0.0
         with obs.span("engine.match"):
             matches = self._call(
                 "try_match", client.try_match, state, locs, blocked, self.cfg
             )
         obs.incr("engine.match.attempts")
+        if prov is not None:
+            # the client narrates its candidate pairs and verdicts (HSM
+            # surjection / identity-composition, world splits); silent
+            # steps — nothing blocked, no candidates — emit no event
+            explain = self._safe_provenance_data(
+                client.match_explanation
+            )
+            if explain is not None or matches:
+                prov.emit(
+                    "match_attempt",
+                    node_key=key,
+                    parents=(prov.node_event.get(key, self._run_event),),
+                    detail=f"{len(matches)} match(es)",
+                    data=explain,
+                    step=result.steps,
+                    dur=time.perf_counter() - match_start,
+                )
         if matches:
             obs.incr("engine.matches", len(matches))
             return [self._apply_match(locs, match, result) for match in matches]
@@ -789,6 +925,7 @@ class PCFGEngine:
         result: AnalysisResult,
     ) -> Optional[PCFGNodeKey]:
         client = self.client
+        prov = self._prov
         locs = list(locs)
 
         # prune provably-empty process sets
@@ -803,6 +940,7 @@ class PCFGEngine:
             return None
 
         # merge process sets that reached the same CFG node
+        merges: List[int] = []
         merged = True
         while merged:
             merged = False
@@ -812,6 +950,8 @@ class PCFGEngine:
                         state = self._call(
                             "merge_psets", client.merge_psets, state, i, j
                         )
+                        if prov is not None:
+                            merges.append(locs[i])
                         del locs[j]
                         merged = True
                         break
@@ -833,9 +973,42 @@ class PCFGEngine:
         else:
             result.explored.add_node(key)
 
+        # causal parent: the event that last defined the source node's
+        # state (the run's root event for the entry configuration)
+        src_event: Optional[int] = None
+        if prov is not None:
+            src_event = (
+                prov.node_event.get(src_key) if src_key is not None else None
+            )
+            if src_event is None:
+                src_event = self._run_event
+            if merges:
+                # the fold happened on the way to this node, so it sits
+                # between the source's defining event and the transition
+                src_event = prov.emit(
+                    "merge",
+                    parents=(src_event,),
+                    detail="psets merged at CFG node(s) "
+                    + ",".join(str(nid) for nid in merges),
+                    step=result.steps,
+                )
+
         state = self._interned(state)
         if key not in states:
             states[key] = state
+            if prov is not None:
+                prov.emit(
+                    kind,
+                    node_key=key,
+                    parents=(src_event,),
+                    detail=detail,
+                    data=self._safe_provenance_data(
+                        client.describe_transfer,
+                        states.get(src_key) if src_key is not None else None,
+                        state,
+                    ),
+                    step=result.steps,
+                )
             return key
         old = states[key]
         if old is state:
@@ -848,6 +1021,7 @@ class PCFGEngine:
                 f"states at pCFG node {key} cannot be joined",
                 code=diagnostics.GIVEUP_PSET_BOUND,
             )
+        widened_here = False
         if visits.get(key, 0) >= self.limits.widen_after:
             with obs.span("engine.widen"):
                 widened = self._call("widen", client.widen, old, combined)
@@ -858,12 +1032,26 @@ class PCFGEngine:
                     code=diagnostics.GIVEUP_PSET_BOUND,
                 )
             combined = widened
+            widened_here = True
         combined = self._interned(combined)
         if old is combined or self._call(
             "states_equal", client.states_equal, old, combined
         ):
             return None  # fixed point at this node
         states[key] = combined
+        if prov is not None:
+            # a join/widen has two causes: the incoming edge's source and
+            # whatever last defined this node's previous state
+            prov.emit(
+                "widen" if widened_here else "join",
+                node_key=key,
+                parents=(prov.node_event.get(key), src_event),
+                detail=f"via {kind}" + (f" {detail}" if detail else ""),
+                data=self._safe_provenance_data(
+                    client.describe_transfer, old, combined
+                ),
+                step=result.steps,
+            )
         return key
 
     def _priority(self, key: PCFGNodeKey) -> tuple:

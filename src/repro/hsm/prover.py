@@ -42,6 +42,11 @@ class HSMProver:
         #: -> bool.  Sound per instance: verdicts depend only on the operand
         #: HSMs and this prover's invariant system and search budget.
         self._verdicts = {}
+        #: provenance hook: when a list, every query appends a JSON-plain
+        #: record ``{lhs, rhs, mode, verdict, explored, cached}`` — the
+        #: proof/refutation trace attached to match-attempt events.  None
+        #: (the default) keeps queries trace-free.
+        self.trace = None
 
     # -- queries ---------------------------------------------------------------
 
@@ -75,6 +80,7 @@ class HSMProver:
         cached = self._verdicts.get(key)
         if cached is not None:
             obs.incr("hsm.prove.cache_hits")
+            self._trace(key, cached, explored=0, cached=True)
             return cached
         with obs.span("hsm.prove"):
             found = self._search_impl(a, b, set_preserving)
@@ -83,7 +89,28 @@ class HSMProver:
         obs.incr("hsm.proof.successes" if found else "hsm.proof.failures")
         if self.explored_counts:
             obs.observe("hsm.proof.explored", self.explored_counts[-1])
+        self._trace(
+            key,
+            found,
+            explored=self.explored_counts[-1] if self.explored_counts else 0,
+            cached=False,
+        )
         return found
+
+    def _trace(self, key, verdict: bool, explored: int, cached: bool) -> None:
+        if self.trace is None:
+            return
+        lhs, rhs, set_preserving = key
+        self.trace.append(
+            {
+                "lhs": lhs,
+                "rhs": rhs,
+                "mode": "set" if set_preserving else "seq",
+                "verdict": verdict,
+                "explored": explored,
+                "cached": cached,
+            }
+        )
 
     def _search_impl(self, a: Base, b: Base, set_preserving: bool) -> bool:
         start = self.ops.normalize(a)

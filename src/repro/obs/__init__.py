@@ -18,9 +18,16 @@ or profile a whole run in one call::
     profile.to_json()               # the CI build artifact
 
 The CLI equivalent is ``python -m repro profile <program>``.
+
+Two sibling subsystems share the module: :mod:`repro.obs.provenance` (the
+causal flight recorder behind ``repro explain`` and the Chrome-trace
+export of :mod:`repro.obs.export`) and :mod:`repro.obs.slog` (structured
+JSON logging to stderr, the ``--log-level`` / ``REPRO_LOG`` knob).
 """
 
+from repro.obs import export, provenance, slog
 from repro.obs.profile import SPAN_CATEGORIES, Profile, build_profile, profile_program
+from repro.obs.provenance import ProvenanceEvent, ProvenanceRecorder
 from repro.obs.recorder import (
     HistogramStats,
     NullRecorder,
@@ -41,6 +48,8 @@ __all__ = [
     "HistogramStats",
     "NullRecorder",
     "Profile",
+    "ProvenanceEvent",
+    "ProvenanceRecorder",
     "Recorder",
     "SPAN_CATEGORIES",
     "SpanStats",
@@ -49,10 +58,13 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "export",
     "incr",
     "observe",
     "profile_program",
+    "provenance",
     "recording",
     "reset",
+    "slog",
     "span",
 ]

@@ -1,0 +1,397 @@
+"""Provenance flight recorder: causal tracing of dataflow facts.
+
+The aggregate counters and spans of :mod:`repro.obs.recorder` answer *how
+much* the engine did; they cannot answer *why* a particular dataflow fact
+holds — why a node fell to ``T``, why a topology is missing an edge, which
+widening erased the bound a match needed.  This module records every
+state-changing engine event as a :class:`ProvenanceEvent` carrying
+
+* the pCFG node it established a fact at (``node_key``),
+* the events it was *caused by* (``parents`` — the event that last defined
+  the source node's state, plus, for joins, the event that last defined
+  the target's), forming a derivation DAG over the whole run,
+* a client-supplied delta (``data``: constraint-graph edge diffs, HSM
+  prover proof/refutation traces, pset descriptions — see
+  :meth:`repro.core.client.ClientAnalysis.describe_transfer`), and
+* monotonic timing (``ts``/``dur``), which is what the Chrome-trace
+  exporter (:mod:`repro.obs.export`) turns into a timeline.
+
+Memory is bounded: events live in a ring buffer of ``capacity`` entries;
+when the ring overflows, the oldest event is either dropped (counted in
+``evicted``) or appended to a JSONL *spill file* so the full journal
+survives (``spill_path``).  Lookups transparently fall back to the spill
+file, so causal chains remain resolvable after eviction.
+
+Like the metrics recorder, the flight recorder is process-global, disabled
+by default, and zero-cost when disabled: the engine fetches
+:func:`active` once per run and guards every emit site with a single
+``is not None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import slog
+
+#: default ring capacity (events); explain runs may raise it
+DEFAULT_CAPACITY = 65536
+
+#: recursion cap for :func:`_plain` (client deltas are shallow in practice)
+_PLAIN_DEPTH = 6
+
+
+def _plain(value: Any, depth: int = _PLAIN_DEPTH) -> Any:
+    """Coerce a client-supplied value to JSON-plain data.
+
+    Events must serialize into the JSONL journal, the Chrome trace, and
+    checkpoint snapshots without registering codecs, so anything a client
+    attaches is flattened here: containers recurse (depth-capped), scalars
+    pass through, everything else becomes ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # NaN/inf are not valid JSON; render them as strings
+        return value if value == value and abs(value) != float("inf") else str(value)
+    if depth <= 0:
+        return str(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=str) if isinstance(value, (set, frozenset)) else value
+        return [_plain(item, depth - 1) for item in items]
+    if isinstance(value, dict):
+        return {str(k): _plain(v, depth - 1) for k, v in value.items()}
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One recorded state-changing engine event (a node of the derivation DAG).
+
+    ``kind`` is one of the engine's event vocabulary: ``run_start``,
+    ``entry``, ``transfer``, ``branch``, ``split``, ``match``, ``buffer``,
+    ``merge``, ``join``, ``widen``, ``match_attempt``, ``giveup``,
+    ``client_fault``, ``cfg_malformed``, ``budget_trip``,
+    ``checkpoint_write``, ``checkpoint_resume``, ``checkpoint_rejected``.
+    Clients and tools may introduce further kinds; consumers must treat the
+    vocabulary as open.
+    """
+
+    event_id: int
+    kind: str
+    step: int = 0
+    #: pCFG node key whose state this event (re)defined, if any
+    node_key: Optional[tuple] = None
+    #: causal parent event ids (may reference spilled/evicted events)
+    parents: Tuple[int, ...] = ()
+    detail: str = ""
+    #: JSON-plain client delta (constraint edge diffs, prover traces, ...)
+    data: Optional[dict] = None
+    #: seconds since the recorder started
+    ts: float = 0.0
+    #: measured duration in seconds (0 for instant events)
+    dur: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-plain rendering (the journal line / snapshot form)."""
+        doc: Dict[str, Any] = {
+            "id": self.event_id,
+            "kind": self.kind,
+            "step": self.step,
+            "ts": round(self.ts, 9),
+        }
+        if self.node_key is not None:
+            doc["node"] = [list(part) for part in self.node_key]
+        if self.parents:
+            doc["parents"] = list(self.parents)
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.data is not None:
+            doc["data"] = self.data
+        if self.dur:
+            doc["dur"] = round(self.dur, 9)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ProvenanceEvent":
+        node = doc.get("node")
+        return cls(
+            event_id=int(doc["id"]),
+            kind=str(doc["kind"]),
+            step=int(doc.get("step", 0)),
+            node_key=tuple(tuple(part) for part in node) if node is not None else None,
+            parents=tuple(int(p) for p in doc.get("parents", ())),
+            detail=str(doc.get("detail", "")),
+            data=doc.get("data"),
+            ts=float(doc.get("ts", 0.0)),
+            dur=float(doc.get("dur", 0.0)),
+        )
+
+    def describe(self, cfg=None) -> str:
+        """One-line human rendering for causal-chain output."""
+        where = ""
+        if self.node_key is not None:
+            locs, pending = self.node_key
+            if cfg is not None:
+                labels = ",".join(
+                    cfg.node(nid).label or str(nid) for nid in locs
+                )
+            else:
+                labels = ",".join(str(nid) for nid in locs)
+            inflight = f" +{len(pending)} in flight" if pending else ""
+            where = f" at node ({labels}{inflight})"
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"#{self.event_id} {self.kind}{where} [step {self.step}]{detail}"
+
+
+@dataclass
+class ProvenanceRecorder:
+    """Ring buffer of provenance events with optional spill-to-JSONL."""
+
+    capacity: int = DEFAULT_CAPACITY
+    #: overflow sink: evicted events are appended here as JSONL (None: drop)
+    spill_path: Optional[str] = None
+    evicted: int = field(default=0, init=False)
+    #: id of the most recently emitted event (None before the first)
+    last_event_id: Optional[int] = field(default=None, init=False)
+    #: pCFG node key -> id of the event that last defined its state
+    node_event: Dict[tuple, int] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.capacity = max(16, int(self.capacity))
+        self._events: "OrderedDict[int, ProvenanceEvent]" = OrderedDict()
+        self._next_id = 1
+        self._start = perf_counter()
+        self._spill_cache: Optional[Dict[int, ProvenanceEvent]] = None
+
+    # -- recording -------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        node_key: Optional[tuple] = None,
+        parents: Tuple[Optional[int], ...] = (),
+        detail: str = "",
+        data: Optional[dict] = None,
+        step: int = 0,
+        dur: float = 0.0,
+    ) -> int:
+        """Record one event; returns its id (the DAG handle)."""
+        event_id = self._next_id
+        self._next_id += 1
+        event = ProvenanceEvent(
+            event_id=event_id,
+            kind=kind,
+            step=step,
+            node_key=node_key,
+            parents=tuple(p for p in parents if p is not None),
+            detail=detail,
+            data=_plain(data) if data is not None else None,
+            ts=perf_counter() - self._start,
+            dur=dur,
+        )
+        self._events[event_id] = event
+        self.last_event_id = event_id
+        if node_key is not None:
+            self.node_event[node_key] = event_id
+        if len(self._events) > self.capacity:
+            _, evictee = self._events.popitem(last=False)
+            self.evicted += 1
+            if self.spill_path is not None:
+                self._spill(evictee)
+        if slog.enabled_for("debug"):
+            slog.debug(f"prov.{kind}", id=event_id, step=step,
+                       node=list(node_key[0]) if node_key else None,
+                       detail=detail or None)
+        return event_id
+
+    def _spill(self, event: ProvenanceEvent) -> None:
+        with open(self.spill_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        if self._spill_cache is not None:
+            self._spill_cache[event.event_id] = event
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        """Events ever emitted (live + evicted)."""
+        return self._next_id - 1
+
+    def events(self) -> List[ProvenanceEvent]:
+        """The live (in-ring) events, oldest first."""
+        return list(self._events.values())
+
+    def get(self, event_id: int) -> Optional[ProvenanceEvent]:
+        """Resolve an event id — from the ring, then from the spill file."""
+        event = self._events.get(event_id)
+        if event is not None:
+            return event
+        if self.spill_path is None:
+            return None
+        if self._spill_cache is None:
+            self._spill_cache = {}
+            try:
+                text = Path(self.spill_path).read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    spilled = ProvenanceEvent.from_dict(json.loads(line))
+                except (ValueError, KeyError):
+                    continue
+                self._spill_cache[spilled.event_id] = spilled
+        return self._spill_cache.get(event_id)
+
+    def events_for_node(self, locs: tuple) -> List[ProvenanceEvent]:
+        """Live events whose node key has the given CFG-location tuple."""
+        locs = tuple(locs)
+        return [
+            event
+            for event in self._events.values()
+            if event.node_key is not None and tuple(event.node_key[0]) == locs
+        ]
+
+    def chain(self, event_id: int, limit: int = 200) -> List[ProvenanceEvent]:
+        """The causal chain of an event: its ancestors plus itself.
+
+        Walks the parent DAG backward (breadth-first, deduplicated) and
+        returns the events in causal order (oldest first, the queried event
+        last).  ``limit`` bounds the walk for pathological fan-in; ancestry
+        through evicted events resolves via the spill file when configured,
+        and silently truncates otherwise.
+        """
+        seen = set()
+        frontier = [event_id]
+        collected: Dict[int, ProvenanceEvent] = {}
+        while frontier and len(collected) < limit:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            event = self.get(current)
+            if event is None:
+                continue
+            collected[event.event_id] = event
+            frontier.extend(event.parents)
+        return [collected[eid] for eid in sorted(collected)]
+
+    # -- checkpoint integration -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-plain journal for a checkpoint snapshot (live events only)."""
+        return {
+            "next_id": self._next_id,
+            "evicted": self.evicted,
+            "events": [event.to_dict() for event in self._events.values()],
+        }
+
+    def preload(self, state: dict) -> None:
+        """Reinstall a journal captured by :meth:`snapshot_state`.
+
+        Used on resume so the recovered run continues the interrupted
+        run's causal history seamlessly: event ids keep counting from
+        where the snapshot stopped and the per-node defining events are
+        rebuilt, so new events link into the restored DAG.
+        """
+        events = [ProvenanceEvent.from_dict(doc) for doc in state.get("events", [])]
+        events.sort(key=lambda event: event.event_id)
+        for event in events[-self.capacity:]:
+            self._events[event.event_id] = event
+            if event.node_key is not None:
+                self.node_event[event.node_key] = event.event_id
+            self.last_event_id = event.event_id
+        self.evicted += int(state.get("evicted", 0))
+        top = max((event.event_id for event in events), default=0)
+        self._next_id = max(self._next_id, int(state.get("next_id", 1)), top + 1)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Tally of live events by kind (summary output)."""
+        counts: Dict[str, int] = {}
+        for event in self._events.values():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+# -- module-level switchboard (mirrors repro.obs.recorder) ---------------------
+
+_active: Optional[ProvenanceRecorder] = None
+
+
+def active() -> Optional[ProvenanceRecorder]:
+    """The installed flight recorder, or None when disabled."""
+    return _active
+
+
+def enabled() -> bool:
+    """True iff provenance is currently being recorded."""
+    return _active is not None
+
+
+def enable(
+    capacity: int = DEFAULT_CAPACITY, spill_path: Optional[str] = None
+) -> ProvenanceRecorder:
+    """Install (and return) a flight recorder.
+
+    Keeps the current recorder when one is already installed and no
+    arguments force a change — mirroring :func:`repro.obs.enable`.
+    """
+    global _active
+    if _active is None:
+        _active = ProvenanceRecorder(capacity=capacity, spill_path=spill_path)
+    return _active
+
+
+def disable() -> None:
+    """Stop recording (the recorder object survives for whoever holds it)."""
+    global _active
+    _active = None
+
+
+def reset() -> None:
+    """Drop the recorder entirely: the pristine disabled state."""
+    disable()
+
+
+@contextmanager
+def recording(
+    capacity: int = DEFAULT_CAPACITY, spill_path: Optional[str] = None
+) -> Iterator[ProvenanceRecorder]:
+    """Temporarily install a fresh flight recorder, restoring the previous
+    state on exit — how ``repro explain`` / ``repro profile --trace``
+    isolate their journals."""
+    global _active
+    previous = _active
+    recorder = ProvenanceRecorder(capacity=capacity, spill_path=spill_path)
+    _active = recorder
+    try:
+        yield recorder
+    finally:
+        _active = previous
+
+
+def emit(
+    kind: str,
+    node_key: Optional[tuple] = None,
+    parents: Tuple[Optional[int], ...] = (),
+    detail: str = "",
+    data: Optional[dict] = None,
+    step: int = 0,
+    dur: float = 0.0,
+) -> Optional[int]:
+    """Record one event on the active recorder (None when disabled)."""
+    recorder = _active
+    if recorder is None:
+        return None
+    return recorder.emit(
+        kind, node_key=node_key, parents=parents, detail=detail,
+        data=data, step=step, dur=dur,
+    )

@@ -74,6 +74,14 @@ class SpanStats:
     self_time: float = 0.0
 
 
+#: retained samples per histogram for the percentile summaries; beyond it
+#: the reservoir is overwritten cyclically (a recent-window estimate)
+RESERVOIR_SIZE = 1024
+
+#: percentile points reported in snapshots (p50/p90/p99)
+PERCENTILES = (0.50, 0.90, 0.99)
+
+
 @dataclass
 class HistogramStats:
     """Summary statistics of one observed value stream."""
@@ -83,17 +91,39 @@ class HistogramStats:
     min: float = math.inf
     max: float = -math.inf
 
+    def __post_init__(self) -> None:
+        self._samples: List[float] = []
+
     def add(self, value: float) -> None:
+        if value != value:  # NaN would poison total/mean/percentiles and
+            return          # serialize as invalid JSON; drop it at the door
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            self._samples[(self.count - 1) % RESERVOIR_SIZE] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentiles(self) -> Optional[Dict[str, float]]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` from the sample
+        reservoir, or None for an empty series — never NaN.  Estimated by
+        nearest-rank over up to ``RESERVOIR_SIZE`` retained samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        last = len(ordered) - 1
+        return {
+            f"p{int(q * 100)}": ordered[min(last, int(q * last + 0.5))]
+            for q in PERCENTILES
+        }
 
 
 class _Span:
@@ -173,6 +203,9 @@ class Recorder:
                     "min": h.min if h.count else None,
                     "max": h.max if h.count else None,
                     "mean": h.mean,
+                    # None (never NaN) for an empty series, so the profile
+                    # JSON stays strictly valid
+                    "percentiles": h.percentiles(),
                 }
                 for name, h in self.histograms.items()
             },

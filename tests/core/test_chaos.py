@@ -28,6 +28,7 @@ from repro.core.diagnostics import CLIENT_FAULT
 from repro.core.engine import EngineLimits, PCFGEngine
 from repro.lang import programs
 from repro.lang.cfg import build_cfg
+from repro.obs import provenance
 from tests.core.chaos import ChaosClient, default_seed
 
 pytestmark = pytest.mark.chaos
@@ -184,6 +185,46 @@ def test_chaos_strict_mode_aborts_on_first_fault():
         assert not result.top_nodes
         return
     pytest.fail("no fault injected across 32 seeds; raise fault_rate")
+
+
+def test_chaos_diagnostics_carry_resolvable_provenance():
+    """Under provenance, every chaos diagnostic names its originating event.
+
+    The flight recorder must keep working while the client actively
+    misbehaves: each diagnostic's ``provenance_id`` resolves to a recorded
+    event of a degradation kind whose causal chain reaches the run's start.
+    """
+    degradation_kinds = {
+        "giveup", "client_fault", "cfg_malformed", "budget_trip",
+        "checkpoint_rejected",
+    }
+    checked = 0
+    for name in ("exchange_with_root", "pingpong", "ring_modular"):
+        for offset in range(8):
+            seed = CHAOS_SEED + offset
+            with provenance.recording() as prov:
+                result, client = chaos_run(name, seed, fault_rate=0.2)
+            for diag in result.diagnostics:
+                assert diag.provenance_id is not None, (
+                    f"CHAOS_SEED={seed} program={name}: diagnostic "
+                    f"{diag.code} has no provenance_id (faults: {client.log})"
+                )
+                event = prov.get(diag.provenance_id)
+                assert event is not None, (
+                    f"CHAOS_SEED={seed} program={name}: provenance_id "
+                    f"{diag.provenance_id} does not resolve"
+                )
+                assert event.kind in degradation_kinds, (
+                    f"CHAOS_SEED={seed} program={name}: {diag.code} links "
+                    f"to a {event.kind!r} event"
+                )
+                chain = prov.chain(event.event_id)
+                assert chain[0].kind == "run_start", (
+                    f"CHAOS_SEED={seed} program={name}: causal chain of "
+                    f"{diag.code} does not reach run_start"
+                )
+                checked += 1
+    assert checked, "no diagnostics produced across the provenance sweep"
 
 
 def test_chaos_corrupted_state_is_contained():

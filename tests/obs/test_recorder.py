@@ -86,6 +86,59 @@ class TestCountersAndHistograms:
         assert HistogramStats().mean == 0.0
 
 
+class TestPercentiles:
+    def test_empty_series_is_none_never_nan(self):
+        from repro.obs.recorder import HistogramStats
+
+        h = HistogramStats()
+        assert h.percentiles() is None
+        # the snapshot form must stay valid JSON (null, not NaN)
+        rec = Recorder()
+        rec.histograms["empty"] = h
+        import json
+
+        snap = json.loads(json.dumps(rec.snapshot(), allow_nan=False))
+        assert snap["histograms"]["empty"]["percentiles"] is None
+
+    def test_nan_observations_are_dropped(self):
+        rec = Recorder()
+        rec.observe("vals", float("nan"))
+        rec.observe("vals", 2.0)
+        h = rec.histograms["vals"]
+        assert h.count == 1
+        assert h.percentiles() == {"p50": 2.0, "p90": 2.0, "p99": 2.0}
+
+    def test_single_sample_percentiles(self):
+        from repro.obs.recorder import HistogramStats
+
+        h = HistogramStats()
+        h.add(7.0)
+        assert h.percentiles() == {"p50": 7.0, "p90": 7.0, "p99": 7.0}
+
+    def test_percentiles_are_order_statistics(self):
+        from repro.obs.recorder import HistogramStats
+
+        h = HistogramStats()
+        for v in range(1, 101):
+            h.add(float(v))
+        p = h.percentiles()
+        # nearest-rank over the sorted reservoir (0-based index q*(n-1)+0.5)
+        assert p["p50"] == 51.0
+        assert p["p90"] == 90.0
+        assert p["p99"] == 99.0
+        assert p["p50"] <= p["p90"] <= p["p99"]
+
+    def test_reservoir_caps_retained_samples(self):
+        from repro.obs.recorder import RESERVOIR_SIZE, HistogramStats
+
+        h = HistogramStats()
+        for v in range(RESERVOIR_SIZE * 2):
+            h.add(float(v))
+        assert h.count == RESERVOIR_SIZE * 2
+        assert len(h._samples) == RESERVOIR_SIZE
+        assert h.percentiles() is not None
+
+
 class TestGlobalState:
     def test_enable_installs_and_disable_restores(self):
         rec = obs.enable()

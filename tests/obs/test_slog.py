@@ -1,0 +1,79 @@
+"""Structured logging: levels, env knob, single-line JSON records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import slog
+
+
+class TestConfigure:
+    def test_disabled_by_default(self):
+        assert not slog.enabled_for("error")
+
+    def test_threshold_orders_levels(self):
+        slog.configure("warning")
+        assert slog.enabled_for("error")
+        assert slog.enabled_for("warning")
+        assert not slog.enabled_for("info")
+        assert not slog.enabled_for("debug")
+
+    @pytest.mark.parametrize("value", [None, "", "off", "OFF", "none"])
+    def test_off_spellings_disable(self, value):
+        slog.configure("debug")
+        slog.configure(value)
+        assert not slog.enabled_for("error")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            slog.configure("loud")
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(slog.ENV_VAR, "info")
+        slog.configure_from_env()
+        assert slog.enabled_for("info")
+
+    def test_env_unset_keeps_state(self, monkeypatch):
+        monkeypatch.delenv(slog.ENV_VAR, raising=False)
+        slog.configure("warning")
+        slog.configure_from_env()
+        assert slog.enabled_for("warning")
+
+    def test_env_invalid_disables_without_crash(self, monkeypatch, capsys):
+        monkeypatch.setenv(slog.ENV_VAR, "shouty")
+        slog.configure_from_env()
+        err = capsys.readouterr().err
+        assert json.loads(err)["event"] == "slog.bad_level"
+
+
+class TestRecords:
+    def test_record_is_single_line_json(self, capsys):
+        slog.configure("info")
+        slog.info("unit.test", a=1, b="two")
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        record = json.loads(err)
+        assert record["event"] == "unit.test"
+        assert record["level"] == "info"
+        assert record["a"] == 1 and record["b"] == "two"
+        assert "ts" in record
+
+    def test_none_fields_are_dropped(self, capsys):
+        slog.configure("info")
+        slog.info("unit.test", kept=0, dropped=None)
+        record = json.loads(capsys.readouterr().err)
+        assert "kept" in record and "dropped" not in record
+
+    def test_below_threshold_writes_nothing(self, capsys):
+        slog.configure("warning")
+        slog.debug("unit.test")
+        slog.info("unit.test")
+        assert capsys.readouterr().err == ""
+
+    def test_non_json_values_fall_back_to_str(self, capsys):
+        slog.configure("info")
+        slog.info("unit.test", path=object())
+        record = json.loads(capsys.readouterr().err)
+        assert isinstance(record["path"], str)
