@@ -10,22 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cgraph.constraint_graph import clear_closure_caches
-from repro.cgraph.stats import reset_global_stats
-from repro.obs import recorder as obs_recorder
+from repro.testing import observability_fixture
 
-
-@pytest.fixture(autouse=True)
-def _reset_observability():
-    """Isolate benchmarks from each other's closure stats, memo tables, and
-    recorder state."""
-    reset_global_stats()
-    clear_closure_caches()
-    obs_recorder.reset()
-    yield
-    reset_global_stats()
-    clear_closure_caches()
-    obs_recorder.reset()
+#: isolate benchmarks from each other's closure stats, memo tables, and
+#: recorder state (shared with tests/)
+_reset_observability = observability_fixture()
 
 
 @pytest.fixture

@@ -1,0 +1,10 @@
+if (id == 3) then
+    x = id
+    send x -> 6
+    receive z <- 6
+elif (id == 6) then
+    receive y <- 3
+    send y -> 3
+else
+    skip
+end

@@ -14,6 +14,8 @@
 #   explain-smoke> budget-trip a run under `repro explain --why-top`, require
 #                  the causal chain back to run_start, and schema-check the
 #                  exported Chrome trace
+#   sweep-smoke -> differential corpus sweep over the pinned smoke manifest
+#                  (analyzer vs concrete interpreter; fails on divergence)
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -22,15 +24,18 @@ set -u
 cd "$(dirname "$0")/.."
 
 failures=0
+failed_steps=""
 step() {
+  local name="$1"
   echo
-  echo "=== $1 ==="
+  echo "=== $name ==="
   shift
   if "$@"; then
     echo "--- ok"
   else
-    echo "--- FAILED: $*"
+    echo "--- FAILED: $name ($*)"
     failures=$((failures + 1))
+    failed_steps="${failed_steps}${failed_steps:+, }${name}"
   fi
 }
 
@@ -83,6 +88,10 @@ document = json.load(open(\"explain-trace.json\"))
 validate_chrome_trace(document)
 assert [e for e in document[\"traceEvents\"] if e[\"ph\"] == \"X\"]
 " && rm -f explain-trace.json'
+step "sweep-smoke: differential corpus sweep" bash -c '
+  python -m repro sweep --tier smoke --seed 1337 --jobs 4 \
+      --report sweep-smoke.jsonl &&
+  rm -f sweep-smoke.jsonl'
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json
@@ -95,6 +104,6 @@ echo
 if [ "$failures" -eq 0 ]; then
   echo "ci_local: all jobs passed"
 else
-  echo "ci_local: $failures job step(s) failed"
+  echo "ci_local: $failures job step(s) failed: ${failed_steps}"
 fi
 exit "$failures"

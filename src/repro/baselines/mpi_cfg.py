@@ -23,8 +23,15 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.dataflow.analyses import eval_const, sequential_constants
-from repro.lang.ast import Program, Recv, Send
+from repro.lang.ast import If, Num, Program, Recv, Send, While
 from repro.lang.cfg import CFG, NodeKind, build_cfg
+
+#: process count the pruning pass probes by default; see :func:`probe_np_for`
+DEFAULT_PROBE_NP = 6
+
+#: upper bound on an adaptively chosen probe np (keeps the per-rank constant
+#: propagation affordable for programs mentioning absurdly large literals)
+MAX_PROBE_NP = 32
 
 
 @dataclass
@@ -80,18 +87,53 @@ def _reachable_by(cfg: CFG, node_id: int, probe_np: int) -> Set[int]:
     return ranks
 
 
-def build_mpi_cfg(program: Program, probe_np: int = 6, cfg: Optional[CFG] = None) -> MPICFGResult:
-    """Construct the MPI-CFG of a program and prune with sequential facts."""
-    cfg = cfg if cfg is not None else build_cfg(program)
-    result = MPICFGResult(cfg)
-    sends = [n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.SEND]
-    recvs = [n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.RECV]
+def _rank_literal_bound(program: Program) -> int:
+    """Largest integer literal in a rank-relevant position (-1 when none).
 
+    Rank-relevant positions are partner expressions (``send``'s dest,
+    ``receive``'s src) and branch/loop conditions that mention ``id`` —
+    the places a literal constrains *which process* communicates.  Value
+    expressions (``x = 98``) are deliberately excluded so data constants
+    cannot inflate the probe.
+    """
+    bound = -1
+    for stmt in program.walk():
+        exprs = []
+        if isinstance(stmt, Send):
+            exprs.append(stmt.dest)
+        elif isinstance(stmt, Recv):
+            exprs.append(stmt.src)
+        elif isinstance(stmt, (If, While)) and "id" in stmt.cond.free_vars():
+            exprs.append(stmt.cond)
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, Num) and isinstance(node.value, int):
+                    bound = max(bound, node.value)
+    return bound
+
+
+def probe_np_for(program: Program) -> int:
+    """A probe process count at which every mentioned rank is representable.
+
+    Pruning rule (b) is only sound if every rank a literal can name
+    actually *exists* at the probe np: probing ``send x -> 6`` at np=6
+    (ranks 0..5) makes the guard ``id == 6`` unreachable for every rank
+    and wrongly refutes all of that send's edges.  We therefore probe at
+    least two ranks past the largest rank-relevant literal (the named
+    rank plus one bystander), clamped to :data:`MAX_PROBE_NP`.
+    """
+    return min(max(DEFAULT_PROBE_NP, _rank_literal_bound(program) + 2), MAX_PROBE_NP)
+
+
+def _prune_at(cfg: CFG, sends, recvs, probe_np: int):
+    """Edge sets (kept, pruned-reason map) from probing at one np."""
     send_consts = {s: _constant_endpoint(cfg, s, probe_np) for s in sends}
     recv_consts = {r: _constant_endpoint(cfg, r, probe_np) for r in recvs}
     send_reach = {s: _reachable_by(cfg, s, probe_np) for s in sends}
     recv_reach = {r: _reachable_by(cfg, r, probe_np) for r in recvs}
 
+    kept: Set[Tuple[int, int]] = set()
+    pruned: Dict[Tuple[int, int], str] = {}
     for send_id in sends:
         send_node = cfg.node(send_id)
         assert isinstance(send_node.stmt, Send)
@@ -100,7 +142,7 @@ def build_mpi_cfg(program: Program, probe_np: int = 6, cfg: Optional[CFG] = None
             assert isinstance(recv_node.stmt, Recv)
             # prune rule (a): declared type mismatch
             if send_node.stmt.mtype != recv_node.stmt.mtype:
-                result.pruned.append((send_id, recv_id, "type-mismatch"))
+                pruned[(send_id, recv_id)] = "type-mismatch"
                 continue
             # prune rule (b): contradictory constant endpoints at probe np —
             # keep the edge iff SOME (sender rank, receiver rank) pair is
@@ -119,7 +161,40 @@ def build_mpi_cfg(program: Program, probe_np: int = 6, cfg: Optional[CFG] = None
                 if consistent:
                     break
             if not consistent:
-                result.pruned.append((send_id, recv_id, "constant-mismatch"))
+                pruned[(send_id, recv_id)] = "constant-mismatch"
                 continue
-            result.comm_edges.add((send_id, recv_id))
+            kept.add((send_id, recv_id))
+    return kept, pruned
+
+
+def build_mpi_cfg(
+    program: Program, probe_np: Optional[int] = None, cfg: Optional[CFG] = None
+) -> MPICFGResult:
+    """Construct the MPI-CFG of a program and prune with sequential facts.
+
+    ``probe_np`` defaults to :func:`probe_np_for`, which adapts to the
+    ranks the program mentions; when the adaptive probe differs from
+    :data:`DEFAULT_PROBE_NP` both process counts are probed and an edge is
+    pruned only if *every* probe refutes it, keeping the baseline on the
+    over-approximate side (found by the corpus sweep: ``mplg1-b26c6652``).
+    """
+    cfg = cfg if cfg is not None else build_cfg(program)
+    result = MPICFGResult(cfg)
+    sends = [n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.SEND]
+    recvs = [n.node_id for n in cfg.nodes.values() if n.kind == NodeKind.RECV]
+
+    if probe_np is None:
+        probes = sorted({DEFAULT_PROBE_NP, probe_np_for(program)})
+    else:
+        probes = [probe_np]
+    kept: Set[Tuple[int, int]] = set()
+    pruned_maps = []
+    for probe in probes:
+        probe_kept, probe_pruned = _prune_at(cfg, sends, recvs, probe)
+        kept |= probe_kept
+        pruned_maps.append(probe_pruned)
+    result.comm_edges = kept
+    for edge, why in sorted(pruned_maps[0].items()):
+        if all(edge in pruned for pruned in pruned_maps):
+            result.pruned.append((edge[0], edge[1], why))
     return result

@@ -8,6 +8,7 @@ Examples::
     python -m repro pingpong --constants           # constant propagation
     python -m repro message_leak --bugs            # bug detection
     python -m repro profile mdcask_full            # Section IX cost profile
+    python -m repro sweep --tier smoke --seed 1337 # differential corpus sweep
     python -m repro mdcask_full --checkpoint-dir . # crash-safe snapshots
     python -m repro resume mdcask_full             # continue an interrupted run
     python -m repro explain pingpong --why-match   # causal chain of a match
@@ -416,6 +417,177 @@ def explain_main(argv) -> int:
     return status
 
 
+# -- repro sweep ---------------------------------------------------------------
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    from repro.corpus.sweep import FAULTS, SMOKE_SEED, TIER_SIZES
+
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Corpus-scale differential sweep: generate seeded MPL "
+                    "programs, run each through the fallback ladder AND the "
+                    "concrete interpreter, and check that static matches "
+                    "cover every observed dynamic match (soundness). Any "
+                    "divergence fails the sweep.",
+    )
+    parser.add_argument(
+        "--tier", choices=sorted(TIER_SIZES), default="smoke",
+        help="corpus size tier: smoke (~50, pinned by the checked-in "
+             "manifest), pr (~200), nightly (~2000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SMOKE_SEED, metavar="N",
+        help="base seed the tier's program seeds derive from (the smoke "
+             "tier is pinned by corpus/manifest_smoke.json instead); "
+             "printed in CI so any run reproduces exactly",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (multiprocessing)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="override the tier's program count",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write a JSONL report: one record per program plus a final "
+             "summary line",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="greedily minimize each divergent program and file it under "
+             "the regressions directory",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="manifest path for the smoke tier "
+             "(default: corpus/manifest_smoke.json)",
+    )
+    parser.add_argument(
+        "--regressions-dir", default=None, metavar="DIR",
+        help="where --shrink files minimized reproducers "
+             "(default: corpus/regressions)",
+    )
+    parser.add_argument(
+        "--write-manifest", action="store_true",
+        help="regenerate the tier manifest from --seed and exit "
+             "(required after any grammar change)",
+    )
+    parser.add_argument(
+        "--inject-fault", choices=FAULTS, default=None, metavar="FAULT",
+        help="harness self-test: inject a chaos-style analyzer fault "
+             "(drop-match removes one claimed edge) so the sweep MUST "
+             "report divergences",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="per-rung wall-clock budget for each program's analysis",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="engine step budget per rung (default: 20000)",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def sweep_main(argv) -> int:
+    from repro.corpus import sweep as sweep_mod
+    from repro.obs import recorder as obs_recorder
+
+    args = build_sweep_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
+
+    if args.manifest:
+        manifest_path = Path(args.manifest)
+    else:
+        manifest_path = sweep_mod.resolve_default(sweep_mod.DEFAULT_MANIFEST)
+    if args.write_manifest:
+        manifest = sweep_mod.write_manifest(
+            manifest_path, base_seed=args.seed, count=args.count, tier=args.tier
+        )
+        print(
+            f"wrote {manifest_path}: {len(manifest['programs'])} programs, "
+            f"grammar v{manifest['grammar_version']}, seed {args.seed}"
+        )
+        return 0
+
+    limits = None
+    if args.deadline is not None or args.max_steps is not None:
+        limits = EngineLimits(deadline_sec=args.deadline)
+        if args.max_steps is not None:
+            limits.max_steps = args.max_steps
+
+    if args.tier == "smoke":
+        try:
+            programs = sweep_mod.load_manifest(manifest_path)
+        except FileNotFoundError:
+            print(
+                f"error: smoke manifest {manifest_path} not found "
+                "(regenerate with 'repro sweep --write-manifest', or pass "
+                "--manifest FILE)"
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        seeds = [generated.seed for generated in programs]
+        if args.count is not None:
+            seeds = seeds[: args.count]
+        print(
+            f"smoke tier: {len(seeds)} programs from {manifest_path} "
+            f"(grammar v{sweep_mod.GRAMMAR_VERSION}, drift-checked)"
+        )
+    else:
+        count = args.count or sweep_mod.TIER_SIZES[args.tier]
+        seeds = sweep_mod.seed_stream(args.seed, count)
+        print(
+            f"{args.tier} tier: {count} programs derived from seed "
+            f"{args.seed} (reproduce with --tier {args.tier} "
+            f"--seed {args.seed})"
+        )
+
+    with obs_recorder.recording() as recorder:
+        summary = sweep_mod.run_sweep(
+            seeds,
+            tier=args.tier,
+            base_seed=args.seed,
+            jobs=args.jobs,
+            limits=limits,
+            fault=args.inject_fault,
+            shrink=args.shrink,
+            report_path=Path(args.report) if args.report else None,
+            regressions_dir=(
+                Path(args.regressions_dir) if args.regressions_dir else None
+            ),
+        )
+        counters = dict(recorder.counters)
+    print(summary.table())
+    sweep_counters = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith("sweep.")
+    }
+    if sweep_counters:
+        print("  counters: " + ", ".join(
+            f"{name}={value}" for name, value in sweep_counters.items()
+        ))
+    if args.report:
+        print(f"wrote JSONL report: {args.report}")
+    if summary.failures:
+        print(
+            f"sweep FAILED: {summary.counts.get('divergent', 0)} divergent, "
+            f"{summary.counts.get('error', 0)} errored "
+            f"(reproduce any program with its corpus_id via "
+            f"repro.corpus.generate_from_id)"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Top-level entry point: GiveUp-family failures exit nonzero with a
     one-line message, never a traceback."""
@@ -437,6 +609,8 @@ def _main(argv=None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     if argv and argv[0] == "resume":
         # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
         return _main(list(argv[1:]) + ["--resume"])

@@ -263,3 +263,24 @@ def analyze_with_fallback(
         confidence=report.chosen.confidence,
     )
     return report
+
+
+def analyze_batch(
+    programs_or_specs,
+    limits: Optional[EngineLimits] = None,
+    ladder: Optional[List[Rung]] = None,
+):
+    """Run the fallback ladder over many programs, lazily.
+
+    Yields ``(item, FallbackReport)`` pairs in input order.  This is the
+    batch entry point the corpus sweep's in-process path and the future
+    analysis-service batch endpoint share: one ladder configuration,
+    many programs, per-program isolation (one program's failure cannot
+    abort the batch — ``analyze_with_fallback`` never raises for
+    analysis-level failures, and the ladder's baseline rung is total).
+    """
+    for item in programs_or_specs:
+        with obs.span("driver.batch.program"):
+            report = analyze_with_fallback(item, limits=limits, ladder=ladder)
+        obs.incr(f"driver.batch.{report.result.confidence}")
+        yield item, report

@@ -1,0 +1,53 @@
+"""repro.corpus — corpus-scale program generation and differential sweeping.
+
+The paper validates the analysis on about a dozen hand-written kernels;
+this package supplies scenario *volume*:
+
+* :mod:`repro.corpus.generator` — a grammar-driven, seeded MPL program
+  generator.  Every program is reproducible from its ``corpus_id`` alone
+  (``corpus_id = f(grammar_version, seed)``).
+* :mod:`repro.corpus.sweep` — the analyzer-vs-interpreter differential
+  harness behind ``repro sweep``: run each generated program through
+  :func:`repro.core.driver.analyze_with_fallback` and the concrete
+  interpreter, check the soundness contract (static matches must cover
+  every observed dynamic match), classify the outcome, and greedily
+  shrink any divergent program into a minimal reproducer.
+"""
+
+from repro.corpus.generator import (
+    GRAMMAR_VERSION,
+    GeneratedProgram,
+    corpus_id_for,
+    generate,
+    generate_from_id,
+    parse_corpus_id,
+    seed_stream,
+)
+from repro.corpus.sweep import (
+    TIER_SIZES,
+    SweepRecord,
+    SweepSummary,
+    load_manifest,
+    run_one,
+    run_sweep,
+    shrink_divergence,
+    write_manifest,
+)
+
+__all__ = [
+    "GRAMMAR_VERSION",
+    "GeneratedProgram",
+    "corpus_id_for",
+    "generate",
+    "generate_from_id",
+    "parse_corpus_id",
+    "seed_stream",
+    "TIER_SIZES",
+    "SweepRecord",
+    "SweepSummary",
+    "load_manifest",
+    "run_one",
+    "run_sweep",
+    "shrink_divergence",
+    "write_manifest",
+]

@@ -1,0 +1,486 @@
+"""Grammar-driven, seeded MPL program generator.
+
+Programs are composed along independent axes:
+
+* **topology shape** — which communication skeleton the program builds
+  (broadcast / gather / scatter / exchange-with-root / shift /
+  neighbor exchange / pipeline / pairwise / master-worker / modular ring /
+  leaky send / purely sequential);
+* **rank count** — which concrete ``np`` values the differential oracle
+  should exercise (chosen to satisfy the skeleton's minimum);
+* **control flow** — optional decorations: a sequential while-loop
+  preamble, a ``for``-loop repetition of the whole communication phase,
+  and a rank-parity compute branch;
+* **partner expressions** — offsets/roots the skeleton communicates with
+  (``id + k``, constant roots, reflected and modular partners);
+* **send/receive placement** — which side of an exchange initiates.
+
+Everything is drawn from one ``random.Random`` seeded with
+``(grammar_version, seed)``, so ``corpus_id = f(grammar_version, seed)``
+fully determines the program text: any program ever swept can be
+regenerated from its id alone (:func:`generate_from_id`), which is why
+the nightly tier only persists seeds, never program text.
+
+Skeletons are deadlock-free by construction for every ``np`` at or above
+their minimum (sends are buffered; every receive has a matching send
+executed by a non-blocked process), with two deliberate exceptions that
+exercise the degraded analysis paths: ``ring_modular`` (beyond both
+clients' abstraction, so the fallback ladder must answer) and ``leaky``
+(a sent-but-never-received message).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lang.ast import Expr, Program, Stmt
+from repro.lang.build import (
+    ID,
+    NP,
+    add,
+    assign,
+    cmp,
+    eq,
+    for_,
+    if_,
+    mod,
+    mul,
+    num,
+    print_,
+    recv,
+    send,
+    skip,
+    sub,
+    to_source,
+    var,
+    while_,
+)
+from repro.lang.parser import parse
+
+#: bump when the generation grammar changes shape: a corpus_id embeds the
+#: version, and regenerating an old id under a new grammar is an error
+GRAMMAR_VERSION = 1
+
+_ID_PATTERN = re.compile(r"^mplg(\d+)-([0-9a-f]{8})$")
+
+#: the client analyses assume ``np >= min_np`` (4 by default, see
+#: :class:`repro.analyses.simple_symbolic.SimpleSymbolicClient`): their
+#: claims are only contractual within that precondition, so the oracle
+#: must not execute below it (a np=2 pipeline degenerates into matches
+#: the np>=4 claim legitimately omits)
+ANALYZER_MIN_NP = 4
+
+#: candidate concrete process counts for the differential oracle
+_NP_CANDIDATES = (4, 5, 6, 7, 8)
+
+
+def corpus_id_for(seed: int, grammar_version: int = GRAMMAR_VERSION) -> str:
+    """The stable id of the program generated from ``seed``."""
+    if not 0 <= seed < 2**32:
+        raise ValueError(f"seed out of range [0, 2^32): {seed}")
+    return f"mplg{grammar_version}-{seed:08x}"
+
+
+def parse_corpus_id(corpus_id: str) -> Tuple[int, int]:
+    """Split a corpus id into ``(grammar_version, seed)``."""
+    match = _ID_PATTERN.match(corpus_id)
+    if not match:
+        raise ValueError(f"malformed corpus id {corpus_id!r}")
+    return int(match.group(1)), int(match.group(2), 16)
+
+
+def seed_stream(base_seed: int, count: int) -> List[int]:
+    """``count`` distinct program seeds derived deterministically from one
+    base seed (the ``--seed`` the CI job prints for reproduction)."""
+    rng = random.Random(f"mplg{GRAMMAR_VERSION}:stream:{base_seed}")
+    seen = set()
+    seeds: List[int] = []
+    while len(seeds) < count:
+        candidate = rng.randrange(2**32)
+        if candidate not in seen:
+            seen.add(candidate)
+            seeds.append(candidate)
+    return seeds
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated program plus the axis choices that produced it."""
+
+    corpus_id: str
+    grammar_version: int
+    seed: int
+    source: str
+    axes: Dict[str, object] = field(hash=False)
+    #: concrete process counts the differential oracle should run
+    np_values: Tuple[int, ...] = ()
+
+    def parse(self) -> Program:
+        """Parse the generated source (mirrors ``ProgramSpec.parse``)."""
+        return parse(self.source)
+
+
+# ---------------------------------------------------------------------------
+# Topology skeletons
+#
+# Each returns (statements, min_np, assigned_vars, axes_extra).
+# ---------------------------------------------------------------------------
+
+
+def _value_expr(rng: random.Random) -> Expr:
+    """A message/compute value in the affine fragment."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        return num(rng.randrange(-9, 100))
+    if choice == 1:
+        return ID
+    if choice == 2:
+        return add(ID, num(rng.randrange(1, 9)))
+    if choice == 3:
+        return mul(num(rng.randrange(2, 9)), ID)
+    return sub(NP, ID)
+
+
+def _sk_broadcast(rng: random.Random):
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [for_("i", num(1), sub(NP, num(1)), [send(var("x"), var("i"))])],
+            [recv("y", num(0))],
+        ),
+    ]
+    return body, 2, {"x"}, {}
+
+
+def _sk_gather(rng: random.Random):
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [for_("i", num(1), sub(NP, num(1)), [recv("y", var("i"))])],
+            [send(var("x"), num(0))],
+        ),
+    ]
+    return body, 2, {"x"}, {}
+
+
+def _sk_scatter(rng: random.Random):
+    scale = num(rng.randrange(2, 20))
+    body = [
+        if_(
+            eq(ID, 0),
+            [
+                for_(
+                    "i",
+                    num(1),
+                    sub(NP, num(1)),
+                    [assign("x", mul(var("i"), scale)), send(var("x"), var("i"))],
+                )
+            ],
+            [recv("y", num(0))],
+        ),
+    ]
+    return body, 2, set(), {}
+
+
+def _sk_exchange_root(rng: random.Random):
+    placement = rng.choice(["send_first", "recv_first"])
+    if placement == "send_first":
+        root_loop = [send(var("x"), var("i")), recv("y", var("i"))]
+        worker = [recv("y", num(0)), send(var("x"), num(0))]
+    else:
+        root_loop = [recv("y", var("i")), send(var("x"), var("i"))]
+        worker = [send(var("x"), num(0)), recv("y", num(0))]
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [for_("i", num(1), sub(NP, num(1)), root_loop)],
+            worker,
+        ),
+    ]
+    return body, 2, {"x"}, {"placement": placement}
+
+
+def _sk_shift(rng: random.Random):
+    offset = rng.randrange(1, 4)
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(cmp("<", ID, sub(NP, num(offset))), [send(var("x"), add(ID, num(offset)))]),
+        if_(cmp(">=", ID, num(offset)), [recv("y", sub(ID, num(offset)))]),
+    ]
+    return body, offset + 1, {"x"}, {"offset": offset}
+
+
+def _sk_neighbor_exchange(rng: random.Random):
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [send(var("x"), add(ID, num(1))), recv("y", add(ID, num(1)))],
+            [
+                if_(
+                    eq(ID, sub(NP, num(1))),
+                    [recv("y", sub(ID, num(1))), send(var("x"), sub(ID, num(1)))],
+                    [
+                        recv("y", sub(ID, num(1))),
+                        send(var("x"), add(ID, num(1))),
+                        recv("z", add(ID, num(1))),
+                        send(var("x"), sub(ID, num(1))),
+                    ],
+                )
+            ],
+        ),
+    ]
+    return body, 2, {"x"}, {"offset": 1}
+
+
+def _sk_pipeline(rng: random.Random):
+    step = num(rng.randrange(1, 5))
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [send(var("x"), num(1))],
+            [
+                if_(
+                    cmp("<", ID, sub(NP, num(1))),
+                    [
+                        recv("y", sub(ID, num(1))),
+                        assign("x", add(var("y"), step)),
+                        send(var("x"), add(ID, num(1))),
+                    ],
+                    [recv("y", sub(ID, num(1))), print_(var("y"))],
+                )
+            ],
+        ),
+    ]
+    return body, 2, {"x"}, {}
+
+
+def _sk_pairwise(rng: random.Random):
+    sender = rng.randrange(0, 4)
+    receiver = sender + rng.randrange(1, 4)
+    echo = rng.random() < 0.5
+    sender_arm: List[Stmt] = [assign("x", _value_expr(rng)), send(var("x"), num(receiver))]
+    receiver_arm: List[Stmt] = [recv("y", num(sender))]
+    if echo:
+        sender_arm.append(recv("z", num(receiver)))
+        receiver_arm.append(send(var("y"), num(sender)))
+    body = [
+        if_(
+            eq(ID, sender),
+            sender_arm,
+            [if_(eq(ID, receiver), receiver_arm, [skip()])],
+        ),
+    ]
+    return body, receiver + 1, set(), {"sender": sender, "receiver": receiver, "echo": echo}
+
+
+def _sk_master_worker(rng: random.Random):
+    scale = num(rng.randrange(2, 200))
+    body = [
+        if_(
+            eq(ID, 0),
+            [
+                for_(
+                    "i",
+                    num(1),
+                    sub(NP, num(1)),
+                    [assign("w", mul(var("i"), scale)), send(var("w"), var("i"))],
+                ),
+                for_("i", num(1), sub(NP, num(1)), [recv("r", var("i"))]),
+            ],
+            [
+                recv("w", num(0)),
+                assign("r", add(var("w"), num(1))),
+                send(var("r"), num(0)),
+            ],
+        ),
+    ]
+    return body, 2, set(), {}
+
+
+def _sk_ring_modular(rng: random.Random):
+    body = [
+        assign("x", _value_expr(rng)),
+        send(var("x"), mod(add(ID, num(1)), NP)),
+        recv("y", mod(add(ID, sub(NP, num(1))), NP)),
+    ]
+    return body, 2, {"x"}, {}
+
+
+def _sk_leaky(rng: random.Random):
+    body = [
+        assign("x", _value_expr(rng)),
+        if_(
+            eq(ID, 0),
+            [send(var("x"), num(1)), send(var("x"), num(1))],
+            [if_(eq(ID, 1), [recv("y", num(0))], [skip()])],
+        ),
+    ]
+    return body, 2, {"x"}, {}
+
+
+def _sk_sequential(rng: random.Random):
+    start = num(rng.randrange(1, 9))
+    body = [
+        assign("x", _value_expr(rng)),
+        assign("c", start),
+        while_(cmp(">", var("c"), num(0)), [assign("c", sub(var("c"), num(1)))]),
+        print_(var("x")),
+    ]
+    return body, 2, {"x", "c"}, {}
+
+
+#: (name, skeleton builder, weight) — weights bias toward the clean,
+#: fully-analyzable shapes; the degraded shapes keep the partial paths hot
+_SKELETONS = (
+    ("broadcast", _sk_broadcast, 3),
+    ("gather", _sk_gather, 3),
+    ("scatter", _sk_scatter, 2),
+    ("exchange_root", _sk_exchange_root, 3),
+    ("shift", _sk_shift, 3),
+    ("neighbor_exchange", _sk_neighbor_exchange, 2),
+    ("pipeline", _sk_pipeline, 2),
+    ("pairwise", _sk_pairwise, 2),
+    ("master_worker", _sk_master_worker, 1),
+    ("ring_modular", _sk_ring_modular, 1),
+    ("leaky", _sk_leaky, 1),
+    ("sequential", _sk_sequential, 1),
+)
+
+
+# ---------------------------------------------------------------------------
+# Control-flow decorations
+# ---------------------------------------------------------------------------
+
+
+def _decorate(
+    rng: random.Random,
+    body: List[Stmt],
+    assigned: set,
+    axes: Dict[str, object],
+) -> List[Stmt]:
+    # for-loop repetition of the whole communication phase: every
+    # iteration is internally matched, so the composition stays safe
+    repeats = 0
+    if rng.random() < 0.35:
+        repeats = rng.randrange(2, 4)
+        body = [for_("t", num(1), num(repeats), body)]
+    axes["repeats"] = repeats
+
+    preamble = rng.random() < 0.4
+    if preamble:
+        count = num(rng.randrange(1, 6))
+        body = [
+            assign("c", count),
+            while_(cmp(">", var("c"), num(0)), [assign("c", sub(var("c"), num(1)))]),
+        ] + body
+        assigned.add("c")
+    axes["preamble"] = preamble
+
+    parity = rng.random() < 0.3
+    if parity:
+        bump = num(rng.randrange(1, 9))
+        body = body + [
+            if_(
+                eq(mod(ID, num(2)), 0),
+                [assign("w", mul(ID, bump))],
+                [assign("w", add(ID, bump))],
+            )
+        ]
+    axes["parity"] = parity
+
+    trailing_print = rng.random() < 0.3
+    if trailing_print:
+        # only print a variable every rank definitely assigned; fall back
+        # to a literal so no rank can read-before-assign
+        target = var("x") if "x" in assigned else num(rng.randrange(100))
+        body = body + [print_(target)]
+    axes["trailing_print"] = trailing_print
+    return body
+
+
+def _retype_messages(stmts: Sequence[Stmt], mtype: str) -> List[Stmt]:
+    """Rebuild the statement tree with every send/receive tagged ``mtype``."""
+    from repro.lang.ast import For, If, Recv, Send, While
+
+    rebuilt: List[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Send):
+            rebuilt.append(Send(stmt.value, stmt.dest, mtype))
+        elif isinstance(stmt, Recv):
+            rebuilt.append(Recv(stmt.target, stmt.src, mtype))
+        elif isinstance(stmt, If):
+            rebuilt.append(
+                If(
+                    stmt.cond,
+                    tuple(_retype_messages(stmt.then_body, mtype)),
+                    tuple(_retype_messages(stmt.else_body, mtype)),
+                )
+            )
+        elif isinstance(stmt, While):
+            rebuilt.append(While(stmt.cond, tuple(_retype_messages(stmt.body, mtype))))
+        elif isinstance(stmt, For):
+            rebuilt.append(
+                For(stmt.var, stmt.start, stmt.stop, tuple(_retype_messages(stmt.body, mtype)))
+            )
+        else:
+            rebuilt.append(stmt)
+    return rebuilt
+
+
+def generate(seed: int) -> GeneratedProgram:
+    """Generate the program for ``seed`` under the current grammar."""
+    rng = random.Random(f"mplg{GRAMMAR_VERSION}:{seed}")
+    names = [name for name, _builder, weight in _SKELETONS for _ in range(weight)]
+    topology = rng.choice(names)
+    builder = dict((name, b) for name, b, _w in _SKELETONS)[topology]
+
+    body, min_np, assigned, extra = builder(rng)
+    axes: Dict[str, object] = {"topology": topology}
+    axes.update(extra)
+    body = _decorate(rng, list(body), set(assigned), axes)
+
+    mtype = "float" if rng.random() < 0.15 else "int"
+    if mtype != "int":
+        body = _retype_messages(body, mtype)
+    axes["mtype"] = mtype
+
+    min_np = max(min_np, ANALYZER_MIN_NP)
+    candidates = [n for n in _NP_CANDIDATES if n >= min_np]
+    count = min(len(candidates), rng.randrange(2, 4))
+    np_values = tuple(sorted(rng.sample(candidates, count)))
+    axes["min_np"] = min_np
+
+    source = to_source(Program(tuple(body)))
+    return GeneratedProgram(
+        corpus_id=corpus_id_for(seed),
+        grammar_version=GRAMMAR_VERSION,
+        seed=seed,
+        source=source,
+        axes=axes,
+        np_values=np_values,
+    )
+
+
+def generate_from_id(corpus_id: str) -> GeneratedProgram:
+    """Regenerate a program from its id alone.
+
+    The id pins the grammar version; regenerating an id minted by a
+    different grammar would silently produce a different program, so it
+    is an error instead.
+    """
+    grammar_version, seed = parse_corpus_id(corpus_id)
+    if grammar_version != GRAMMAR_VERSION:
+        raise ValueError(
+            f"corpus id {corpus_id!r} is from grammar v{grammar_version}, "
+            f"but this build generates v{GRAMMAR_VERSION}; regenerate the "
+            "manifest (repro sweep --write-manifest)"
+        )
+    return generate(seed)

@@ -32,6 +32,9 @@ SPAN_CATEGORIES = {
     "engine.join": "state join at pCFG nodes",
     "engine.widen": "loop widening",
     "hsm.prove": "HSM equality proofs (Sec. VIII-B)",
+    "sweep.analyze": "corpus sweep: analyzer leg (fallback ladder)",
+    "sweep.oracle": "corpus sweep: concrete interpreter oracle",
+    "sweep.run": "corpus sweep: whole-tier wall clock",
 }
 
 

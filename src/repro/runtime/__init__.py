@@ -19,6 +19,9 @@ from repro.runtime.interpreter import (
     DeadlockError,
     Machine,
     MPLAssertionError,
+    Observation,
+    StepLimitError,
+    observe_program,
     run_program,
 )
 from repro.runtime.scheduler import (
@@ -32,8 +35,11 @@ from repro.runtime.trace import MatchEvent, Topology, Trace
 __all__ = [
     "Machine",
     "run_program",
+    "observe_program",
+    "Observation",
     "DeadlockError",
     "MPLAssertionError",
+    "StepLimitError",
     "ChannelNetwork",
     "Scheduler",
     "RoundRobinScheduler",

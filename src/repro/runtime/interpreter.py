@@ -314,3 +314,54 @@ def run_program(
     """Parse-and-go helper: execute and return the trace."""
     machine = Machine(program, num_procs, inputs=inputs, scheduler=scheduler, cfg=cfg)
     return machine.run()
+
+
+@dataclass
+class Observation:
+    """The oracle-facing view of one execution: trace plus terminal status.
+
+    Unlike :func:`run_program`, a failed execution is a *result*, not an
+    exception: the matches a deadlocked or limit-tripped run established
+    before stalling are real concrete behavior, and the differential sweep
+    (:mod:`repro.corpus.sweep`) must still hold the static analysis to
+    covering them.
+    """
+
+    trace: Trace
+    #: ``ok`` | ``deadlock`` | ``step_limit`` | ``assertion``
+    status: str
+    detail: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+
+def observe_program(
+    program: Program,
+    num_procs: int,
+    inputs: Optional[Sequence[int]] = None,
+    scheduler: Optional[Scheduler] = None,
+    cfg: Optional[CFG] = None,
+    max_steps: int = 1_000_000,
+) -> Observation:
+    """Execute and capture the trace even when the run does not complete."""
+    machine = Machine(
+        program, num_procs, inputs=inputs, scheduler=scheduler,
+        max_steps=max_steps, cfg=cfg,
+    )
+    status, detail = "ok", ""
+    try:
+        machine.run()
+    except DeadlockError as exc:
+        status, detail = "deadlock", str(exc)
+    except StepLimitError as exc:
+        status, detail = "step_limit", str(exc)
+    except MPLAssertionError as exc:
+        status, detail = "assertion", str(exc)
+    # run() only records leaks on clean completion; the partial trace needs
+    # them too (undelivered messages are observable sends)
+    machine.trace.leaked = [
+        (msg.src, msg.dst, msg.value) for msg in machine.network.undelivered()
+    ]
+    return Observation(trace=machine.trace, status=status, detail=detail)

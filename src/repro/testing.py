@@ -1,0 +1,43 @@
+"""Shared test/benchmark scaffolding.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` both need the same
+isolation guarantee: no closure stats, memo tables, obs recorder state,
+flight-recorder provenance, or structured-logging sink may leak from one
+test into the next.  The reset logic lives here — once — and the two
+conftests re-export :func:`observability_fixture` as their autouse fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def reset_state() -> None:
+    """Reset every piece of cross-cutting global state to a clean slate."""
+    from repro.cgraph.constraint_graph import clear_closure_caches
+    from repro.cgraph.stats import reset_global_stats
+    from repro.obs import provenance, slog
+    from repro.obs import recorder as obs_recorder
+
+    reset_global_stats()
+    clear_closure_caches()
+    obs_recorder.reset()
+    provenance.reset()
+    slog.configure(None)
+
+
+def observability_fixture():
+    """An autouse fixture isolating tests from each other's global state.
+
+    Usage (in a conftest)::
+
+        _reset_observability = observability_fixture()
+    """
+
+    @pytest.fixture(autouse=True)
+    def _reset_observability():
+        reset_state()
+        yield
+        reset_state()
+
+    return _reset_observability

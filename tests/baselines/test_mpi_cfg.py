@@ -4,7 +4,12 @@ import pytest
 
 from repro.analyses.simple_symbolic import analyze_program
 from repro.baselines.concrete import concrete_matches
-from repro.baselines.mpi_cfg import build_mpi_cfg
+from repro.baselines.mpi_cfg import (
+    DEFAULT_PROBE_NP,
+    MAX_PROBE_NP,
+    build_mpi_cfg,
+    probe_np_for,
+)
 from repro.lang import parse, programs
 
 
@@ -82,3 +87,53 @@ class TestPrecisionGap:
         assert not result.gave_up
         mpi = build_mpi_cfg(program, cfg=cfg)
         assert set(result.matches) <= mpi.comm_edges
+
+
+class TestAdaptiveProbe:
+    """Regression mplg1-b26c6652: ranks beyond the fixed probe np.
+
+    Probing constant propagation at np=6 makes a guard like ``id == 6``
+    unreachable for every rank, so all edges of a rank-3<->rank-6 exchange
+    were wrongly pruned as 'constant-mismatch' and the "sound by
+    construction" baseline claimed an empty topology.  The probe np now
+    adapts to the largest rank-relevant literal.
+    """
+
+    SOURCE = """
+        if id == 3 then
+            x = id
+            send x -> 6
+            receive z <- 6
+        elif id == 6 then
+            receive y <- 3
+            send y -> 3
+        else
+            skip
+        end
+    """
+
+    def test_probe_np_covers_mentioned_ranks(self):
+        program = parse(self.SOURCE)
+        assert probe_np_for(program) >= 8
+
+    def test_high_rank_edges_survive(self):
+        program = parse(self.SOURCE)
+        mpi = build_mpi_cfg(program)
+        truth = concrete_matches(program, 7, cfg=mpi.cfg)
+        assert set(truth.node_edges) <= mpi.comm_edges
+        assert mpi.edge_count() == 2
+
+    def test_data_literals_do_not_inflate_probe(self):
+        program = parse("x = 98\nif id == 0 then\nsend x -> 1\nelse\nreceive y <- 0\nend")
+        assert probe_np_for(program) == DEFAULT_PROBE_NP
+
+    def test_probe_is_clamped(self):
+        program = parse(
+            "if id == 500 then\nsend 1 -> 0\nelse\nreceive y <- 500\nend"
+        )
+        assert probe_np_for(program) == MAX_PROBE_NP
+
+    def test_explicit_probe_np_still_honored(self):
+        program = parse(self.SOURCE)
+        mpi = build_mpi_cfg(program, probe_np=6)
+        assert mpi.comm_edges == set()  # the caller asked for np=6 facts

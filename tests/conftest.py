@@ -4,28 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cgraph.constraint_graph import clear_closure_caches
-from repro.cgraph.stats import reset_global_stats
 from repro.lang import build_cfg, programs
-from repro.obs import provenance, slog
-from repro.obs import recorder as obs_recorder
+from repro.testing import observability_fixture
 
-
-@pytest.fixture(autouse=True)
-def _reset_observability():
-    """Isolate tests from each other's closure stats, memo tables, obs
-    recorder, flight recorder, and structured-logging state."""
-    reset_global_stats()
-    clear_closure_caches()
-    obs_recorder.reset()
-    provenance.reset()
-    slog.configure(None)
-    yield
-    reset_global_stats()
-    clear_closure_caches()
-    obs_recorder.reset()
-    provenance.reset()
-    slog.configure(None)
+#: isolate tests from each other's closure stats, memo tables, obs recorder,
+#: flight recorder, and structured-logging state (shared with benchmarks/)
+_reset_observability = observability_fixture()
 
 
 #: inputs consumed by ``input()`` for parameterized corpus programs, keyed by

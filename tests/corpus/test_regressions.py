@@ -1,0 +1,60 @@
+"""Permanent regression replay: every divergence the sweep ever found.
+
+Each ``corpus/regressions/<corpus_id>.mpl`` is a (minimized) program whose
+analyzer claim once failed to cover a concrete execution, with the filing
+metadata alongside in ``<corpus_id>.json``.  This suite re-runs the full
+differential check on the checked-in source text — not a regeneration, so
+the replay survives grammar changes — and asserts the divergence stays
+fixed.  Faulted entries (minimized under an injected harness fault) assert
+the fault-free analysis is clean instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.sweep import check_program
+from repro.lang.parser import parse
+
+REGRESSIONS = Path(__file__).resolve().parents[2] / "corpus" / "regressions"
+CASES = sorted(REGRESSIONS.glob("*.mpl")) if REGRESSIONS.is_dir() else []
+
+
+def _case_id(path: Path) -> str:
+    return path.stem
+
+
+@pytest.mark.parametrize("mpl_path", CASES, ids=_case_id)
+def test_regression_stays_fixed(mpl_path):
+    meta = json.loads(mpl_path.with_suffix(".json").read_text())
+    program = parse(mpl_path.read_text())
+    report, claimed, dynamic_count, statuses, divergences = check_program(
+        program, meta["np_values"]
+    )
+    assert divergences == [], (
+        f"{meta['corpus_id']} diverges again: {divergences} "
+        f"(rung={report.rung_name}, claimed={sorted(claimed)})"
+    )
+    # the original filing recorded real dynamic matches; they must still be
+    # claimed, not merely absent (guards against an oracle that went blind)
+    if any(div["missing_edges"] for div in meta.get("divergences", ())):
+        if meta.get("fault") is None:
+            assert claimed, f"{meta['corpus_id']}: claim is empty"
+            assert dynamic_count > 0, f"{meta['corpus_id']}: oracle saw nothing"
+
+
+def test_every_regression_has_metadata():
+    for mpl_path in CASES:
+        meta_path = mpl_path.with_suffix(".json")
+        assert meta_path.exists(), f"{mpl_path.name} lacks {meta_path.name}"
+        meta = json.loads(meta_path.read_text())
+        for key in ("corpus_id", "seed", "np_values", "divergences"):
+            assert key in meta, f"{meta_path.name} lacks {key!r}"
+
+
+def test_regressions_directory_is_tracked():
+    assert REGRESSIONS.is_dir(), "corpus/regressions/ must exist"
+    assert CASES, "the first filed regression (mplg1-b26c6652) is missing"
