@@ -82,6 +82,9 @@ from repro.analyses.constprop import propagate_constants  # noqa: E402
 from repro.cgraph import constraint_graph  # noqa: E402
 from repro.cgraph.stats import reset_global_stats  # noqa: E402
 from repro.core.checkpoint import Checkpointer  # noqa: E402
+from repro.core.driver import analyze_batch  # noqa: E402
+from repro.corpus.generator import generate, seed_stream  # noqa: E402
+from repro.corpus.sweep import SMOKE_SEED  # noqa: E402
 from repro.obs import profile_program, provenance  # noqa: E402
 from repro.obs import recorder as obs_recorder  # noqa: E402
 
@@ -133,10 +136,33 @@ def _bench_sec9_profile() -> None:
     assert not result.gave_up
 
 
+#: generated programs in the serial ``bench_corpus_batch`` workload — small
+#: enough that the median-of-5 stays quick, large enough to mix topologies
+CORPUS_BENCH_COUNT = 8
+
+_CORPUS_CACHE: Dict[int, list] = {}
+
+
+def _corpus_programs(count: int) -> list:
+    """The first ``count`` seeded-generator programs, parsed once and cached
+    so the timed window measures the analyzer, not the generator."""
+    if count not in _CORPUS_CACHE:
+        _CORPUS_CACHE[count] = [
+            generate(seed).parse() for seed in seed_stream(SMOKE_SEED, count)
+        ]
+    return _CORPUS_CACHE[count]
+
+
+def _bench_corpus_batch() -> None:
+    for _item, report in analyze_batch(_corpus_programs(CORPUS_BENCH_COUNT)):
+        assert report.result is not None
+
+
 WORKLOADS: Dict[str, Callable[[], None]] = {
     "bench_fig5_exchange": _bench_fig5_exchange,
     "bench_fig2_constprop": _bench_fig2_constprop,
     "bench_sec9_profile": _bench_sec9_profile,
+    "bench_corpus_batch": _bench_corpus_batch,
 }
 
 #: the documented default snapshot cadence (see README "Resumable analyses");
@@ -424,6 +450,9 @@ def measure_disabled_vs_tree(pre_tree: Path) -> dict:
 
     workloads: Dict[str, dict] = {}
     for name, workload in WORKLOADS.items():
+        if name == "bench_corpus_batch":
+            # the corpus generator postdates every pre-instrumentation tree
+            continue
         _reset()
         start = time.perf_counter()
         workload()
@@ -443,6 +472,84 @@ def measure_disabled_vs_tree(pre_tree: Path) -> dict:
             "windows": len(ratios),
         }
     return {"pre_tree": str(pre_tree), "workloads": workloads}
+
+
+#: worker counts measured by the parallel section; 1 is the baseline
+PARALLEL_JOBS = (1, 2, 4)
+#: corpus batch size for the parallel measurement — larger than the serial
+#: tier so pool startup and state shipping amortize over real work
+PARALLEL_COUNT = 24
+PARALLEL_RUNS = 3
+#: the acceptance target: wall-clock speedup of the jobs=4 batch over the
+#: jobs=1 batch.  Only *enforced* on hosts with >= 4 CPUs — on fewer cores
+#: the speedup is physically unattainable and the recorded number documents
+#: the honest (pool-overhead-dominated) behavior instead of gating on it.
+PARALLEL_SPEEDUP_TARGET = 1.5
+PARALLEL_GATE_MIN_CPUS = 4
+
+
+def measure_parallel() -> dict:
+    """Wall-clock speedup of the parallel corpus batch, equivalence-gated.
+
+    Times ``analyze_batch`` over ``PARALLEL_COUNT`` seeded-generator
+    programs at each worker count in ``PARALLEL_JOBS`` (median of
+    ``PARALLEL_RUNS``), and checks that every worker count reports the
+    same (rung, confidence, match set) per program as the serial run —
+    a speedup that changes answers is a bug, not a win.
+
+    The document records ``cpus`` so readers can judge the numbers: on a
+    single-core host the parallel runs *lose* (pool startup plus pickling
+    with no parallel hardware underneath), and the ``gate`` entry says
+    whether the speedup target was enforced on this machine.
+    """
+    import os
+
+    corpus = _corpus_programs(PARALLEL_COUNT)
+    cpus = os.cpu_count() or 1
+    entries: Dict[str, dict] = {}
+    baseline_outcomes = None
+    for jobs in PARALLEL_JOBS:
+        runs = []
+        outcomes = None
+        for _ in range(PARALLEL_RUNS):
+            _reset()
+            start = time.perf_counter()
+            reports = [report for _item, report in analyze_batch(corpus, jobs=jobs)]
+            runs.append(time.perf_counter() - start)
+            outcomes = [
+                (
+                    report.rung_name,
+                    report.result.confidence,
+                    sorted(report.result.matches),
+                )
+                for report in reports
+            ]
+        if baseline_outcomes is None:
+            baseline_outcomes = outcomes
+        entries[str(jobs)] = {
+            "median_s": statistics.median(runs),
+            "runs_s": runs,
+            "equivalent": outcomes == baseline_outcomes,
+        }
+    base = entries[str(PARALLEL_JOBS[0])]["median_s"]
+    for entry in entries.values():
+        entry["speedup"] = base / entry["median_s"] if entry["median_s"] else 0.0
+    top = str(PARALLEL_JOBS[-1])
+    enforced = cpus >= PARALLEL_GATE_MIN_CPUS
+    return {
+        "cpus": cpus,
+        "programs": PARALLEL_COUNT,
+        "base_seed": SMOKE_SEED,
+        "jobs": entries,
+        "gate": {
+            "target_speedup": PARALLEL_SPEEDUP_TARGET,
+            "at_jobs": PARALLEL_JOBS[-1],
+            "min_cpus": PARALLEL_GATE_MIN_CPUS,
+            "enforced": enforced,
+            "met": entries[top]["speedup"] >= PARALLEL_SPEEDUP_TARGET,
+            "equivalent": all(entry["equivalent"] for entry in entries.values()),
+        },
+    }
 
 
 def _instrumented(workload: Callable[[], None]) -> Dict[str, int]:
@@ -490,6 +597,7 @@ def write_baseline(out: Path, pre: Path = None, prov_pre_tree: Path = None) -> d
     document = measure()
     document["checkpoint_overhead"] = measure_checkpoint_overhead()
     old = json.loads(pre.read_text()) if pre is not None else None
+    document["parallel"] = measure_parallel()
     document["provenance_overhead"] = measure_provenance_overhead()
     if prov_pre_tree is not None:
         document["provenance_overhead"]["disabled_vs_tree"] = (
@@ -571,6 +679,23 @@ def main(argv=None) -> int:
                 f"(snapshot {1000 * entry['snapshot_s']:.2f}ms, target <= "
                 f"{100 * ckpt['target']:.0f}%)"
             )
+        par = document["parallel"]
+        for jobs, entry in sorted(par["jobs"].items(), key=lambda kv: int(kv[0])):
+            print(
+                f"corpus batch jobs={jobs:<2s} median {entry['median_s']:.4f}s "
+                f"speedup {entry['speedup']:.2f}x "
+                f"equivalent={entry['equivalent']}"
+            )
+        gate = par["gate"]
+        status = "met" if gate["met"] else "NOT met"
+        if gate["enforced"]:
+            scope = "enforced"
+        else:
+            scope = f"informational: fewer than {gate['min_cpus']} cpus"
+        print(
+            f"parallel gate: {gate['target_speedup']}x at jobs={gate['at_jobs']} "
+            f"{status} on {par['cpus']} cpu(s) ({scope})"
+        )
         prov = document["provenance_overhead"]
         for name, entry in sorted(prov["workloads"].items()):
             print(

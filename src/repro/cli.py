@@ -121,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
              "target's snapshot in the checkpoint directory (a missing or "
              "stale snapshot degrades to a cold start, never an error)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the analysis: shards the pCFG fixpoint "
+             "across N processes (results are lattice-equal to --jobs 1); "
+             "with --fallback, runs the ladder rungs speculatively in the "
+             "same pool instead",
+    )
     _add_log_level(parser)
     return parser
 
@@ -649,7 +656,8 @@ def _main(argv=None) -> int:
 
     if args.fallback:
         report = analyze_with_fallback(
-            program, limits=limits, checkpointer=checkpointer, resume=resume
+            program, limits=limits, checkpointer=checkpointer, resume=resume,
+            jobs=args.jobs,
         )
         for outcome in report.rungs:
             print(f"rung {outcome.describe()}")
@@ -666,7 +674,7 @@ def _main(argv=None) -> int:
     else:
         result, cfg, client = analyze_program(
             program, CartesianClient(), limits,
-            checkpointer=checkpointer, resume=resume,
+            checkpointer=checkpointer, resume=resume, jobs=args.jobs,
         )
         if result.confidence != diagnostics.EXACT:
             _print_degraded(result)

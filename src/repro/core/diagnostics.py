@@ -53,6 +53,14 @@ CHECKPOINT_CORRUPT = "CHECKPOINT_CORRUPT"
 #: a checkpoint snapshot was well-formed but belongs to a different format
 #: version, program/CFG, or client analysis; the engine degraded to a cold start
 CHECKPOINT_MISMATCH = "CHECKPOINT_MISMATCH"
+#: a sharded-fixpoint worker process died mid-round (killed, OOM, crash);
+#: the parent drained the remaining work in-process and the result is a
+#: sound partial/complete answer, never a hang
+SHARD_WORKER_LOST = "SHARD_WORKER_LOST"
+#: the sharded executor could not ship states across process boundaries
+#: (no registered codecs / unpicklable payload) and fell back to the
+#: single-process engine; informational only
+SHARD_FALLBACK = "SHARD_FALLBACK"
 
 ALL_CODES = (
     GIVEUP_NO_MATCH,
@@ -64,6 +72,8 @@ ALL_CODES = (
     CFG_MALFORMED,
     CHECKPOINT_CORRUPT,
     CHECKPOINT_MISMATCH,
+    SHARD_WORKER_LOST,
+    SHARD_FALLBACK,
 )
 
 #: the resource-budget codes: a budget trip cuts the run short without making

@@ -25,6 +25,9 @@ rung's outcome so callers can still inspect the sharper partial results.
 from __future__ import annotations
 
 import inspect
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
@@ -196,6 +199,85 @@ def _carryable_snapshot(result: AnalysisResult):
     return None
 
 
+def _pool_context():
+    """fork where available (cheap, no re-import), else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _rung_worker(task: tuple) -> tuple:
+    """Run one ladder rung in a worker process; returns its outcome plus a
+    counter snapshot so the parent recorder keeps the rung's obs counts."""
+    program, index, runner, limits, capture = task
+    if capture:
+        with obs.recording() as recorder:
+            result, cfg, client = runner(program, limits)
+        return index, result, cfg, client, dict(recorder.counters)
+    result, cfg, client = runner(program, limits)
+    return index, result, cfg, client, None
+
+
+def _parallel_rungs(program, rungs: List[Rung], jobs: int) -> Optional[FallbackReport]:
+    """Speculatively run every rung concurrently; pick the first exact one
+    in ladder order.
+
+    Unlike the serial climb, all rungs run (their results are all kept in
+    the report) and budget-trip snapshots cannot warm-start the next rung
+    — speculation trades that for wall-clock.  Returns None when the
+    program or ladder cannot cross a process boundary; the caller then
+    climbs serially.
+    """
+    try:
+        pickle.dumps((program, rungs), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        obs.incr("driver.rung.parallel_fallbacks")
+        slog.info("driver.rungs_fallback", reason=str(exc))
+        return None
+    capture = obs.enabled()
+    report = FallbackReport()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(rungs)), mp_context=_pool_context()
+    ) as pool:
+        futures = [
+            pool.submit(_rung_worker, (program, i, rung.run, rung.limits, capture))
+            for i, rung in enumerate(rungs)
+        ]
+        for rung, future in zip(rungs, futures):
+            try:
+                _, result, cfg, client, counters = future.result()
+            except Exception as exc:
+                # a dead or broken worker costs us one rung, not the run
+                obs.incr("driver.rung.worker_lost")
+                slog.warning(
+                    "driver.rung_worker_lost", name=rung.name, error=str(exc)
+                )
+                with obs.span(f"driver.rung.{rung.name}"):
+                    result, cfg, client = rung.run(program, rung.limits)
+                counters = None
+            obs.merge_counters(counters)
+            outcome = RungOutcome(rung.name, result, cfg, client)
+            report.rungs.append(outcome)
+            obs.incr(f"driver.rung.{rung.name}.{result.confidence}")
+            slog.info(
+                "driver.rung",
+                name=rung.name,
+                confidence=result.confidence,
+                matches=len(result.matches),
+                diagnostics=diagnostics.summarize(result.diagnostics),
+                resumed_from=None,
+            )
+    report.chosen = next(
+        (o for o in report.rungs if o.confidence == diagnostics.EXACT),
+        report.rungs[-1],
+    )
+    slog.info(
+        "driver.chosen",
+        name=report.chosen.name,
+        confidence=report.chosen.confidence,
+    )
+    return report
+
+
 def analyze_with_fallback(
     program_or_spec,
     limits: Optional[EngineLimits] = None,
@@ -203,6 +285,7 @@ def analyze_with_fallback(
     *,
     checkpointer=None,
     resume=None,
+    jobs: int = 1,
 ) -> FallbackReport:
     """Climb the fallback ladder until a rung answers exactly.
 
@@ -218,14 +301,23 @@ def analyze_with_fallback(
     otherwise clean (see :func:`_carryable_snapshot`); a rung whose client
     class differs from the snapshot's is detected by the engine and falls
     back to a cold start.
+
+    ``jobs > 1`` runs the rungs *speculatively* in a process pool (see
+    :func:`_parallel_rungs`); checkpointing/resume forces the serial
+    climb, whose warm-start carry speculation cannot reproduce.
     """
     if hasattr(program_or_spec, "parse"):
         program = program_or_spec.parse()
     else:
         program = program_or_spec
+    rungs = ladder if ladder is not None else default_ladder(limits)
+    if jobs > 1 and checkpointer is None and resume is None:
+        report = _parallel_rungs(program, rungs, jobs)
+        if report is not None:
+            return report
     report = FallbackReport()
     carry = resume
-    for rung in ladder if ladder is not None else default_ladder(limits):
+    for rung in rungs:
         wants_ckpt = (checkpointer is not None or carry is not None)
         with obs.span(f"driver.rung.{rung.name}"):
             if wants_ckpt and _supports_checkpointing(rung.run):
@@ -265,12 +357,23 @@ def analyze_with_fallback(
     return report
 
 
+def _batch_worker(task: tuple) -> tuple:
+    """Analyze one batch item in a worker process."""
+    item, limits, ladder, capture = task
+    if capture:
+        with obs.recording() as recorder:
+            report = analyze_with_fallback(item, limits=limits, ladder=ladder)
+        return report, dict(recorder.counters)
+    return analyze_with_fallback(item, limits=limits, ladder=ladder), None
+
+
 def analyze_batch(
     programs_or_specs,
     limits: Optional[EngineLimits] = None,
     ladder: Optional[List[Rung]] = None,
+    jobs: int = 1,
 ):
-    """Run the fallback ladder over many programs, lazily.
+    """Run the fallback ladder over many programs.
 
     Yields ``(item, FallbackReport)`` pairs in input order.  This is the
     batch entry point the corpus sweep's in-process path and the future
@@ -278,9 +381,53 @@ def analyze_batch(
     many programs, per-program isolation (one program's failure cannot
     abort the batch — ``analyze_with_fallback`` never raises for
     analysis-level failures, and the ladder's baseline rung is total).
+
+    ``jobs > 1`` fans the programs out over a process pool (whole-program
+    parallelism: each worker climbs the full ladder for its item) and
+    merges each worker's obs-counter snapshot back into the parent
+    recorder.  The input is materialized up front in that mode; items are
+    still yielded in input order as their results arrive.  An unpicklable
+    program/ladder degrades to the serial loop; a worker that dies is
+    retried in-process, so the batch always completes.
     """
-    for item in programs_or_specs:
-        with obs.span("driver.batch.program"):
-            report = analyze_with_fallback(item, limits=limits, ladder=ladder)
-        obs.incr(f"driver.batch.{report.result.confidence}")
-        yield item, report
+    if jobs <= 1:
+        for item in programs_or_specs:
+            with obs.span("driver.batch.program"):
+                report = analyze_with_fallback(item, limits=limits, ladder=ladder)
+            obs.incr(f"driver.batch.{report.result.confidence}")
+            yield item, report
+        return
+    items = list(programs_or_specs)
+    try:
+        pickle.dumps((items, limits, ladder), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        obs.incr("driver.batch.parallel_fallbacks")
+        slog.info("driver.batch_fallback", reason=str(exc))
+        for item in items:
+            with obs.span("driver.batch.program"):
+                report = analyze_with_fallback(item, limits=limits, ladder=ladder)
+            obs.incr(f"driver.batch.{report.result.confidence}")
+            yield item, report
+        return
+    capture = obs.enabled()
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=_pool_context()
+    ) as pool:
+        futures = [
+            pool.submit(_batch_worker, (item, limits, ladder, capture))
+            for item in items
+        ]
+        for item, future in zip(items, futures):
+            try:
+                report, counters = future.result()
+            except Exception as exc:
+                obs.incr("driver.batch.worker_lost")
+                slog.warning("driver.batch_worker_lost", error=str(exc))
+                with obs.span("driver.batch.program"):
+                    report = analyze_with_fallback(
+                        item, limits=limits, ladder=ladder
+                    )
+                counters = None
+            obs.merge_counters(counters)
+            obs.incr(f"driver.batch.{report.result.confidence}")
+            yield item, report

@@ -1,0 +1,700 @@
+"""Sharded multi-process execution of the pCFG fixpoint.
+
+The fixpoint of Fig. 4 is a chaotic iteration: any fair schedule of the
+worklist converges to the same least fixed point of the join/widen lattice.
+That freedom is what this module exploits.  :class:`ShardedEngine`
+partitions the pCFG configuration space into contiguous *reverse-postorder
+ranges* (a configuration belongs to the shard owning the smallest RPO rank
+among its CFG locations, so the shard map is stable and cheap) and runs a
+bulk-synchronous iteration:
+
+1. **Scatter** — group the dirty configurations by shard and submit one
+   task per non-empty shard to a ``ProcessPoolExecutor``.  The pool's
+   shared call queue is the work-stealing mechanism: with
+   ``SHARD_FACTOR``× more shards than workers, an idle worker pulls the
+   next shard task the moment it finishes, so uneven shards rebalance
+   without explicit stealing machinery.  Task payloads ship states through
+   the structural snapshot codecs (:mod:`repro.core.checkpoint`), the same
+   stable serialization the checkpoint layer proves round-trip-exact.
+2. **Local fixpoint** — each worker runs the *identical* per-step
+   semantics (:class:`repro.core.step.StepCore`, shared with the serial
+   engine) to a local fixed point over its shard: in-shard successors are
+   joined/widened into the worker's table immediately; successors landing
+   in other shards become *boundary facts* and are returned un-joined.
+3. **Gather / reconcile** — the parent merges worker results in shard-id
+   order (determinism), overwrites in-shard states (a worker's result
+   state is always ⊒ the state it was handed), then absorbs every
+   boundary fact through the same ``_absorb`` join/widen path the serial
+   engine uses.  Facts that change a state mark it dirty for the next
+   round.
+4. **Converge** — rounds repeat until no shard produces a new fact.  This
+   is the convergence barrier: an empty dirty set means every shard is at
+   a fixed point *and* every cross-shard fact has been reconciled.
+
+Resource budgets are enforced at round boundaries (each worker is
+additionally capped at the remaining step/deadline budget, so parallel
+runs can overshoot ``max_steps`` by at most one round's worth of work —
+the budget is approximate in parallel mode, never silently unbounded).
+
+Failure containment mirrors the serial engine.  A worker process that
+dies mid-round (kill, OOM, segfault) surfaces as ``BrokenProcessPool``;
+the parent records a ``SHARD_WORKER_LOST`` warning and finishes the
+remaining work in-process — the run degrades to a ``partial`` result
+with a diagnostic instead of hanging.  A client whose states cannot be
+pickled or codec-encoded falls back to the single-process engine with a
+``SHARD_FALLBACK`` info diagnostic.  Runs with provenance recording or
+``strict`` mode delegate to the serial engine outright: both demand a
+single deterministic event order that a process pool cannot provide.
+
+Checkpointing is *serialize-on-round-boundary*: snapshots are only taken
+between rounds (where the parent's tables are consistent), using the
+standard snapshot format — a snapshot written by a sharded run resumes in
+either engine, and vice versa.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import checkpoint as checkpoint_mod
+from repro.core import diagnostics
+from repro.core.diagnostics import Diagnostic
+from repro.core.engine import (
+    _RECOVERABLE,
+    AnalysisResult,
+    EngineLimits,
+    PCFGEngine,
+)
+from repro.core.pcfg import PCFGEdge, PCFGNodeKey
+from repro.core.topology import StaticTopology
+from repro.lang.cfg import CFG
+from repro.obs import provenance, slog
+from repro.obs import recorder as obs
+
+#: shards per worker process — more shards than workers lets the pool's
+#: shared call queue rebalance uneven shards onto idle workers
+SHARD_FACTOR = 2
+
+#: crash-injection hook for tests: a worker assigned this shard id kills
+#: itself with SIGKILL before processing (simulates OOM-killer / segfault)
+KILL_ENV = "REPRO_SHARD_KILL_SHARD"
+
+
+class ShardPlan:
+    """Contiguous partition of the RPO rank space into ``num_shards`` ranges.
+
+    A configuration's shard is determined by the smallest RPO rank among
+    its CFG locations (``StepCore._priority(key)[0]``) — upstream-aligned,
+    so configurations that feed each other tend to share a shard and
+    cross-shard traffic concentrates at real dataflow frontiers.
+    """
+
+    __slots__ = ("num_shards", "cuts")
+
+    def __init__(self, num_ranks: int, num_shards: int):
+        # rank ``num_ranks`` is the default for nodes missing from the RPO
+        # index, so the domain is one wider than the index
+        domain = num_ranks + 1
+        self.num_shards = max(1, min(num_shards, domain))
+        self.cuts: Tuple[int, ...] = tuple(
+            (i * domain) // self.num_shards for i in range(1, self.num_shards)
+        )
+
+    def shard_of(self, min_rank: int) -> int:
+        return bisect_right(self.cuts, min_rank)
+
+
+# -- the worker side -----------------------------------------------------------
+
+#: per-process worker engine, built once by the pool initializer
+_WORKER: Optional["_ShardWorker"] = None
+
+
+def _worker_init(blob: bytes) -> None:
+    global _WORKER
+    obs.reset()  # a forked child must not write into the parent's recorder
+    cfg, client, limits, intern_states = pickle.loads(blob)
+    _WORKER = _ShardWorker(cfg, client, limits, intern_states)
+
+
+def _worker_run(task: dict) -> dict:
+    return _WORKER.run_shard(task)
+
+
+class _ShardWorker(PCFGEngine):
+    """One worker process's engine: StepCore semantics plus the inherited
+    degradation machinery, driven by :meth:`run_shard` instead of the
+    serial worklist loop."""
+
+    def run_shard(self, task: dict) -> dict:
+        if os.environ.get(KILL_ENV) == str(task["shard"]):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if task["capture"]:
+            with obs.recording() as recorder:
+                out = self._local_fixpoint(task)
+            out["counters"] = dict(recorder.counters)
+        else:
+            out = self._local_fixpoint(task)
+            out["counters"] = None
+        return out
+
+    def _in_shard(self, key: PCFGNodeKey, cuts, shard: int) -> bool:
+        return bisect_right(cuts, self._priority(key)[0]) == shard
+
+    def _local_fixpoint(self, task: dict) -> dict:
+        shard, cuts = task["shard"], task["cuts"]
+        states: Dict[PCFGNodeKey, object] = {
+            key: self._interned(checkpoint_mod.decode(enc))
+            for key, enc in task["states"]
+        }
+        baseline = dict(states)  # object-identity snapshot: compute the delta
+        visits: Dict[PCFGNodeKey, int] = dict(task["visits"])
+        res = AnalysisResult(topology=StaticTopology())
+        self._prov = None
+        self._run_event = None
+        deadline = None
+        if task["deadline_sec"] is not None:
+            deadline = time.monotonic() + task["deadline_sec"]
+
+        heap: List[tuple] = []
+        pending: Set[PCFGNodeKey] = set()
+        seq = 0
+
+        def enqueue(key: PCFGNodeKey) -> None:
+            nonlocal seq
+            if key in pending:
+                obs.incr("engine.worklist.dedup")
+                return
+            pending.add(key)
+            heapq.heappush(heap, (self._priority(key), seq, key))
+            seq += 1
+
+        for key in sorted(task["dirty"], key=self._priority):
+            enqueue(key)
+
+        #: boundary facts for other shards, deduped per (target, fingerprint)
+        boundary: List[tuple] = []
+        boundary_seen: Set[tuple] = set()
+        steps = 0
+        while heap:
+            if steps >= task["max_steps"] or (
+                deadline is not None and time.monotonic() > deadline
+            ):
+                break  # out of budget: hand the rest back as leftover
+            _, _, key = heapq.heappop(heap)
+            pending.discard(key)
+            steps += 1
+            obs.incr("engine.steps")
+            visits[key] = visits.get(key, 0) + 1
+            state = states[key]
+            try:
+                with obs.span("engine.step"):
+                    successors = self._step(key, state, res)
+            except _RECOVERABLE as failure:
+                self._degrade(res, key, failure)
+                continue
+            for locs, succ_state, kind, detail in successors:
+                try:
+                    formed = self._canonical_form(locs, succ_state)
+                    if formed is None:
+                        continue
+                    succ_key, succ_state, _ = formed
+                    if self._in_shard(succ_key, cuts, shard):
+                        res.explored.add_edge(
+                            PCFGEdge(key, succ_key, kind, detail)
+                        )
+                        changed = self._absorb(
+                            states, visits, succ_key, succ_state,
+                            key, kind, detail, res,
+                        )
+                        if changed is not None:
+                            enqueue(changed)
+                    else:
+                        obs.incr("engine.shard.boundary_facts")
+                        fp = self._call(
+                            "state_fingerprint",
+                            self.client.state_fingerprint,
+                            succ_state,
+                        )
+                        sig = (succ_key, fp, kind)
+                        if fp is None or sig not in boundary_seen:
+                            boundary_seen.add(sig)
+                            boundary.append(
+                                (succ_key, checkpoint_mod.encode(succ_state),
+                                 key, kind, detail)
+                            )
+                except _RECOVERABLE as failure:
+                    self._degrade(res, key, failure)
+                    continue
+
+        changed_states = [
+            (key, checkpoint_mod.encode(state))
+            for key, state in states.items()
+            if baseline.get(key) is not state
+        ]
+        return {
+            "shard": shard,
+            "steps": steps,
+            "changed": changed_states,
+            "visits": visits,
+            "boundary": boundary,
+            "records": list(res.topology.records),
+            "final": [checkpoint_mod.encode(s) for s in res.final_states],
+            "vacuous": list(res.vacuous_blocks),
+            "edges": list(res.explored.edges),
+            "diagnostics": list(res.diagnostics),
+            "top_nodes": set(res.top_nodes),
+            "blocked": list(res.blocked_at_giveup),
+            "gave_up": res.gave_up,
+            "reason": res.give_up_reason,
+            "leftover": sorted(pending),
+        }
+
+
+# -- the parent side -----------------------------------------------------------
+
+
+class ShardedEngine(PCFGEngine):
+    """Multi-process pCFG fixpoint with the serial engine's semantics.
+
+    Drop-in for :class:`PCFGEngine` plus a ``jobs`` knob.  ``jobs <= 1``,
+    ``strict`` mode, and active provenance recording all delegate to the
+    serial engine; unpicklable/uncodecable clients fall back to it with a
+    ``SHARD_FALLBACK`` info diagnostic.  ``run()`` never raises and never
+    hangs: a lost worker degrades the run to a diagnosed partial result.
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        client,
+        limits: Optional[EngineLimits] = None,
+        jobs: int = 2,
+        intern_states: bool = True,
+        checkpointer=None,
+    ):
+        super().__init__(cfg, client, limits, intern_states, checkpointer)
+        self.jobs = max(1, int(jobs))
+        self._shard_cache: Dict[PCFGNodeKey, int] = {}
+
+    # inherited run() wraps _run in the engine.run span
+
+    def _run(self, resume=None) -> AnalysisResult:
+        limits = self.limits
+        self._prov = provenance.active()
+        if self.jobs <= 1 or limits.strict or self._prov is not None:
+            # strict mode needs deterministic first-failure order and the
+            # flight recorder needs one causal event stream — both are
+            # single-process properties
+            return super()._run(resume)
+        try:
+            blob = pickle.dumps(
+                (self.cfg, self.client, limits, self.intern_states),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            return self._serial_fallback(resume, f"CFG/client not picklable: {exc}")
+
+        self._prov = None
+        self._run_event = None
+        result = AnalysisResult(topology=StaticTopology())
+        states: Dict[PCFGNodeKey, object] = {}
+        visits: Dict[PCFGNodeKey, int] = {}
+        self._intern = {}
+        self._shard_cache = {}
+        dirty: Set[PCFGNodeKey] = set()
+        deadline = None
+        if limits.deadline_sec is not None:
+            deadline = time.monotonic() + limits.deadline_sec
+
+        restored = self._try_resume(resume, result) if resume is not None else None
+        if restored is not None:
+            restored_run, source = restored
+            result.steps = restored_run.steps
+            states = restored_run.states
+            visits = restored_run.visits
+            result.topology = restored_run.topology
+            result.final_states = restored_run.final_states
+            result.vacuous_blocks = restored_run.vacuous_blocks
+            result.explored = restored_run.explored
+            result.blocked_at_giveup = restored_run.blocked_at_giveup
+            result.top_nodes = restored_run.top_nodes
+            kept = [
+                diag
+                for diag in restored_run.diagnostics
+                if diag.code not in diagnostics.BUDGET_CODES
+            ]
+            result.diagnostics.extend(kept)
+            result.gave_up = any(
+                diag.severity != diagnostics.INFO for diag in kept
+            )
+            result.give_up_reason = next(
+                (
+                    diag.message
+                    for diag in kept
+                    if diag.severity != diagnostics.INFO
+                ),
+                "",
+            )
+            for key in list(states):
+                states[key] = self._interned(states[key])
+            dirty = {key for _, _, key in restored_run.worklist}
+            result.resumed_from = source
+            obs.incr("engine.ckpt.resumes")
+            slog.info("engine.resume", source=source, steps=result.steps)
+        else:
+            try:
+                initial = self._call("initial", self.client.initial)
+                entry_key = self._canonicalize_into(
+                    states, visits, None, [self.cfg.entry], initial,
+                    "entry", "", result,
+                )
+            except _RECOVERABLE as failure:
+                self._degrade(result, None, failure)
+                result.node_states = states
+                self._finalize(result, aborted=True)
+                return result
+            if entry_key is not None:
+                dirty.add(entry_key)
+
+        try:
+            checkpoint_mod.encode(states)
+        except Exception as exc:
+            # no snapshot codecs for this client's states: nothing can
+            # cross a process boundary, so drain in-process
+            self._note_fallback(result, f"states not codec-encodable: {exc}")
+            self._drain_inline(result, states, visits, dirty, deadline)
+            result.node_states = states
+            self._finalize(result, aborted=False)
+            return result
+
+        plan = ShardPlan(len(self._rpo), self.jobs * SHARD_FACTOR)
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(blob,),
+        )
+        capture = obs.enabled()
+        last_ckpt_steps = result.steps
+        tripped = False
+        try:
+            while dirty:
+                code_msg = self._parent_budget_check(result, states, deadline)
+                if code_msg is not None:
+                    self._record_budget(result, *code_msg)
+                    tripped = True
+                    break
+                obs.incr("engine.shard.rounds")
+                by_shard: Dict[int, List[PCFGNodeKey]] = {}
+                for key in dirty:
+                    by_shard.setdefault(self._shard_of(plan, key), []).append(key)
+                try:
+                    tasks = self._build_tasks(
+                        plan, by_shard, states, visits, result, deadline, capture
+                    )
+                except checkpoint_mod.SnapshotError as exc:
+                    self._note_fallback(
+                        result, f"state shipping failed mid-run: {exc}"
+                    )
+                    self._drain_inline(result, states, visits, dirty, deadline)
+                    dirty = set()
+                    break
+                futures = {
+                    pool.submit(_worker_run, task): task["shard"]
+                    for task in tasks
+                }
+                outcomes: List[dict] = []
+                lost = False
+                shipping_failed = False
+                for future in futures:
+                    try:
+                        outcomes.append(future.result())
+                    except BrokenProcessPool:
+                        lost = True
+                    except checkpoint_mod.SnapshotError as exc:
+                        shipping_failed = True
+                        self._note_fallback(
+                            result, f"state shipping failed in a worker: {exc}"
+                        )
+                dirty = self._merge_round(result, states, visits, outcomes)
+                if lost or shipping_failed:
+                    merged = {out["shard"] for out in outcomes}
+                    dropped = {
+                        key
+                        for shard, keys in by_shard.items()
+                        if shard not in merged
+                        for key in keys
+                    }
+                    if lost:
+                        self._worker_lost(result)
+                    self._drain_inline(
+                        result, states, visits, dirty | dropped, deadline
+                    )
+                    dirty = set()
+                    break
+                if (
+                    self.checkpointer is not None
+                    and self.checkpointer.every_steps > 0
+                    and result.steps - last_ckpt_steps
+                    >= self.checkpointer.every_steps
+                ):
+                    with obs.span("engine.checkpoint"):
+                        snap = self._capture_sharded(result, states, visits, dirty)
+                        if snap is not None:
+                            self._write_checkpoint(snap, result)
+                            last_ckpt_steps = result.steps
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if tripped:
+            snap = self._capture_sharded(result, states, visits, dirty)
+            if snap is not None:
+                result.snapshot = snap
+                if self.checkpointer is not None:
+                    self._write_checkpoint(snap, result)
+        result.node_states = states
+        self._finalize(result, aborted=False)
+        return result
+
+    # -- round plumbing ---------------------------------------------------------
+
+    def _shard_of(self, plan: ShardPlan, key: PCFGNodeKey) -> int:
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            shard = plan.shard_of(self._priority(key)[0])
+            self._shard_cache[key] = shard
+        return shard
+
+    def _build_tasks(
+        self, plan, by_shard, states, visits, result, deadline, capture
+    ) -> List[dict]:
+        limits = self.limits
+        remaining_steps = max(1, limits.max_steps - result.steps)
+        remaining_sec = None
+        if deadline is not None:
+            remaining_sec = max(0.01, deadline - time.monotonic())
+        shard_states: Dict[int, List[tuple]] = {shard: [] for shard in by_shard}
+        for key, state in states.items():
+            shard = self._shard_of(plan, key)
+            if shard in shard_states:
+                shard_states[shard].append((key, checkpoint_mod.encode(state)))
+        return [
+            {
+                "shard": shard,
+                "cuts": plan.cuts,
+                "states": shard_states[shard],
+                "visits": {
+                    key: visits[key]
+                    for key, _ in shard_states[shard]
+                    if key in visits
+                },
+                "dirty": sorted(keys),
+                "max_steps": remaining_steps,
+                "deadline_sec": remaining_sec,
+                "capture": capture,
+            }
+            for shard, keys in sorted(by_shard.items())
+        ]
+
+    def _merge_round(
+        self, result, states, visits, outcomes: List[dict]
+    ) -> Set[PCFGNodeKey]:
+        """Fold worker results into the parent tables; returns the next
+        round's dirty set.  Merged in shard-id order so the outcome is
+        independent of worker completion order."""
+        dirty: Set[PCFGNodeKey] = set()
+        outcomes = sorted(outcomes, key=lambda out: out["shard"])
+        # pass 1: in-shard results (a worker's state strictly refines the
+        # state it was handed, so overwrite is the correct merge)
+        for out in outcomes:
+            obs.merge_counters(out["counters"])
+            result.steps += out["steps"]
+            for record in out["records"]:
+                result.topology.add(record)
+            for enc in out["final"]:
+                result.final_states.append(
+                    self._interned(checkpoint_mod.decode(enc))
+                )
+            result.vacuous_blocks.extend(out["vacuous"])
+            for edge in out["edges"]:
+                result.explored.add_edge(edge)
+            result.diagnostics.extend(out["diagnostics"])
+            result.top_nodes.update(out["top_nodes"])
+            result.blocked_at_giveup.extend(out["blocked"])
+            if out["gave_up"]:
+                result.gave_up = True
+                if not result.give_up_reason:
+                    result.give_up_reason = out["reason"]
+            for key, enc in out["changed"]:
+                states[key] = self._interned(checkpoint_mod.decode(enc))
+            for key, count in out["visits"].items():
+                if count > visits.get(key, 0):
+                    visits[key] = count
+            dirty.update(out["leftover"])
+        # pass 2: boundary facts — only after *all* in-shard overwrites, so
+        # a fact joining into a shard another worker just advanced merges
+        # with the fresh state, not the stale one
+        for out in outcomes:
+            for key, enc, src_key, kind, detail in out["boundary"]:
+                state = checkpoint_mod.decode(enc)
+                result.explored.add_edge(PCFGEdge(src_key, key, kind, detail))
+                try:
+                    with obs.span("engine.shard.reconcile"):
+                        changed = self._absorb(
+                            states, visits, key, state,
+                            src_key, kind, detail, result,
+                        )
+                except _RECOVERABLE as failure:
+                    self._degrade(result, src_key, failure)
+                    continue
+                if changed is not None:
+                    dirty.add(changed)
+        return dirty
+
+    def _parent_budget_check(
+        self, result, states, deadline
+    ) -> Optional[Tuple[str, str]]:
+        """Round-boundary budget enforcement; returns (code, message) on a
+        trip.  Parallel budgets are approximate: workers are individually
+        capped at the remaining budget, and the parent re-checks here."""
+        limits = self.limits
+        if result.steps >= limits.max_steps:
+            return (
+                diagnostics.BUDGET_STEPS,
+                f"engine step limit {limits.max_steps} exceeded",
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            return (
+                diagnostics.BUDGET_DEADLINE,
+                f"wall-clock deadline {limits.deadline_sec}s exceeded "
+                f"after {result.steps} steps",
+            )
+        if limits.max_state_bytes is not None:
+            usage = self._state_bytes(states)
+            if usage > limits.max_state_bytes:
+                return (
+                    diagnostics.BUDGET_MEMORY,
+                    f"retained state ~{usage} bytes exceeds budget "
+                    f"{limits.max_state_bytes}",
+                )
+        return None
+
+    def _capture_sharded(self, result, states, visits, dirty):
+        """Snapshot between rounds: the dirty set *is* the worklist, so the
+        snapshot resumes in either engine."""
+        worklist = [
+            (self._priority(key), seq, key)
+            for seq, key in enumerate(sorted(dirty, key=self._priority))
+        ]
+        return self._capture(
+            result, states, visits, worklist, len(worklist)
+        )
+
+    # -- degraded modes ----------------------------------------------------------
+
+    def _serial_fallback(self, resume, why: str) -> AnalysisResult:
+        result = super()._run(resume)
+        self._note_fallback(result, why)
+        return result
+
+    def _note_fallback(self, result, why: str) -> None:
+        obs.incr("engine.shard.fallbacks")
+        slog.info("engine.shard_fallback", reason=why)
+        result.diagnostics.append(
+            Diagnostic(
+                code=diagnostics.SHARD_FALLBACK,
+                message=f"{why}; ran single-process",
+                severity=diagnostics.INFO,
+            )
+        )
+
+    def _worker_lost(self, result) -> None:
+        obs.incr("engine.shard.workers_lost")
+        message = (
+            "a shard worker process died mid-round; "
+            "remaining work drained in-process"
+        )
+        slog.warning("engine.shard_worker_lost", steps=result.steps)
+        result.diagnostics.append(
+            Diagnostic(
+                code=diagnostics.SHARD_WORKER_LOST,
+                message=message,
+                severity=diagnostics.WARNING,
+            )
+        )
+        result.gave_up = True
+        if not result.give_up_reason:
+            result.give_up_reason = message
+
+    def _drain_inline(self, result, states, visits, dirty, deadline) -> None:
+        """Serial in-process drain of ``dirty`` to the fixed point — the
+        worker-loss and codec-failure escape hatch.  Same step semantics,
+        same budget checks; never raises."""
+        limits = self.limits
+        heap: List[tuple] = []
+        pending: Set[PCFGNodeKey] = set()
+        seq = 0
+
+        def enqueue(key: PCFGNodeKey) -> None:
+            nonlocal seq
+            if key in pending:
+                obs.incr("engine.worklist.dedup")
+                return
+            pending.add(key)
+            heapq.heappush(heap, (self._priority(key), seq, key))
+            seq += 1
+
+        for key in sorted(dirty, key=self._priority):
+            enqueue(key)
+        while heap:
+            result.steps += 1
+            obs.incr("engine.steps")
+            if result.steps > limits.max_steps:
+                self._record_budget(
+                    result,
+                    diagnostics.BUDGET_STEPS,
+                    f"engine step limit {limits.max_steps} exceeded",
+                )
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                self._record_budget(
+                    result,
+                    diagnostics.BUDGET_DEADLINE,
+                    f"wall-clock deadline {limits.deadline_sec}s exceeded "
+                    f"after {result.steps} steps",
+                )
+                break
+            _, _, key = heapq.heappop(heap)
+            pending.discard(key)
+            visits[key] = visits.get(key, 0) + 1
+            state = states[key]
+            try:
+                with obs.span("engine.step"):
+                    successors = self._step(key, state, result)
+            except _RECOVERABLE as failure:
+                self._degrade(result, key, failure)
+                continue
+            for locs, succ_state, kind, detail in successors:
+                try:
+                    succ_key = self._canonicalize_into(
+                        states, visits, key, locs, succ_state, kind, detail,
+                        result,
+                    )
+                except _RECOVERABLE as failure:
+                    self._degrade(result, key, failure)
+                    continue
+                if succ_key is not None:
+                    enqueue(succ_key)

@@ -124,6 +124,11 @@ class SweepRecord:
     fault: Optional[str] = None
     error: str = ""
     elapsed: float = 0.0
+    #: obs counter snapshot captured in a pool worker (None when the sweep
+    #: ran in-process or observability was disabled) — merged into the
+    #: parent recorder by :func:`_ingest` so ``engine.*`` counts survive
+    #: the process boundary
+    counters: Optional[Dict[str, int]] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -488,9 +493,20 @@ class SweepSummary:
         return "\n".join(lines)
 
 
-def _worker(task: Tuple[int, Optional[EngineLimits], Optional[str]]) -> SweepRecord:
-    seed, limits, fault = task
-    return run_one(seed, limits=limits, fault=fault)
+def _worker(
+    task: Tuple[int, Optional[EngineLimits], Optional[str], bool]
+) -> SweepRecord:
+    """One pool task.  When ``capture`` is set (the parent has an active
+    recorder and this runs in a forked worker, where incrs would land in
+    the child's inherited copy and be lost), the work runs under a private
+    recorder and the counter snapshot travels home on the record."""
+    seed, limits, fault, capture = task
+    if not capture:
+        return run_one(seed, limits=limits, fault=fault)
+    with obs.recording() as recorder:
+        record = run_one(seed, limits=limits, fault=fault)
+    record.counters = dict(recorder.counters)
+    return record
 
 
 def seeds_for_tier(tier: str, base_seed: int) -> List[int]:
@@ -521,7 +537,8 @@ def run_sweep(
         grammar_version=GRAMMAR_VERSION,
         jobs=max(1, jobs),
     )
-    tasks = [(seed, limits, fault) for seed in seeds]
+    pooled = summary.jobs > 1 and len(seeds) > 1
+    tasks = [(seed, limits, fault, pooled and obs.enabled()) for seed in seeds]
     records: List[SweepRecord] = []
 
     report_file = None
@@ -530,7 +547,7 @@ def run_sweep(
         report_file = open(report_path, "w")
     try:
         with obs.span("sweep.run"):
-            if summary.jobs > 1 and len(tasks) > 1:
+            if pooled:
                 with multiprocessing.Pool(summary.jobs) as pool:
                     iterator = pool.imap(_worker, tasks)
                     for record in iterator:
@@ -572,6 +589,7 @@ def _ingest(
     on_record: Optional[Callable[[SweepRecord], None]],
 ) -> None:
     summary.total += 1
+    obs.merge_counters(record.counters)
     summary.counts[record.outcome] = summary.counts.get(record.outcome, 0) + 1
     if record.topology:
         summary.by_topology[record.topology] = (

@@ -56,6 +56,9 @@ class NullRecorder:
     def observe(self, name: str, value: float) -> None:
         pass
 
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        pass
+
     def reset(self) -> None:
         pass
 
@@ -177,6 +180,19 @@ class Recorder:
         """Record one value into a histogram."""
         self.histograms.setdefault(name, HistogramStats()).add(value)
 
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold a counter snapshot from another process into this recorder.
+
+        Worker processes (the sharded engine, sweep/batch pool workers)
+        cannot share the parent's recorder; they enable a private one,
+        return ``dict(recorder.counters)`` with their result, and the
+        parent merges it here so ``engine.*``/``sweep.*`` counts survive
+        the pool.  Spans and histograms are deliberately not merged: their
+        wall-clock attribution is only meaningful within one process.
+        """
+        for name, amount in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+
     def reset(self) -> None:
         """Drop everything collected so far."""
         self.spans.clear()
@@ -286,3 +302,18 @@ def incr(name: str, amount: int = 1) -> None:
 def observe(name: str, value: float) -> None:
     """Record a histogram value on the active recorder."""
     _active.observe(name, value)
+
+
+def merge_counters(counters: Optional[Dict[str, int]]) -> None:
+    """Fold a worker's counter snapshot into the active recorder (no-op
+    when disabled or when the snapshot is None/empty)."""
+    if counters:
+        _active.merge_counters(counters)
+
+
+def counter_snapshot() -> Optional[Dict[str, int]]:
+    """A plain-dict copy of the active recorder's counters for shipping
+    across a process boundary, or None when observability is disabled."""
+    if isinstance(_active, Recorder):
+        return dict(_active.counters)
+    return None

@@ -5,12 +5,17 @@ Every corpus program is analyzed twice: once with the full PR-2 machinery
 and once with every optimization disabled (``naive_copy`` client, interning
 off).  The observable analysis outcome — convergence, the match relation,
 and the blocked/vacuous diagnostics — must be identical.
+
+The same oracle gates the sharded executor: at every worker count the
+multi-process engine must report the identical observable outcome, so any
+speedup it buys can never come from changing answers.
 """
 
 import pytest
 
 from repro.analyses.simple_symbolic import SimpleSymbolicClient
 from repro.core.engine import PCFGEngine
+from repro.core.shard import ShardedEngine
 from repro.lang import build_cfg, programs
 
 CORPUS = [
@@ -29,10 +34,13 @@ CORPUS = [
 ]
 
 
-def _observe(name: str, optimized: bool):
+def _observe(name: str, optimized: bool, jobs: int = 1):
     cfg = build_cfg(programs.get(name).parse())
     client = SimpleSymbolicClient(naive_copy=not optimized)
-    engine = PCFGEngine(cfg, client, intern_states=optimized)
+    if jobs > 1:
+        engine = ShardedEngine(cfg, client, jobs=jobs, intern_states=optimized)
+    else:
+        engine = PCFGEngine(cfg, client, intern_states=optimized)
     result = engine.run()
     return {
         "gave_up": result.gave_up,
@@ -45,3 +53,12 @@ def _observe(name: str, optimized: bool):
 @pytest.mark.parametrize("name", CORPUS)
 def test_optimized_lattice_matches_naive(name):
     assert _observe(name, optimized=True) == _observe(name, optimized=False)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_sharded_lattice_matches_serial(jobs):
+    """Worker count never changes the observable outcome (whole corpus)."""
+    for name in CORPUS:
+        serial = _observe(name, optimized=True)
+        sharded = _observe(name, optimized=True, jobs=jobs)
+        assert sharded == serial, f"jobs={jobs} program={name}: {sharded} != {serial}"

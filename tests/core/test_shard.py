@@ -1,0 +1,254 @@
+"""Sharded fixpoint engine: plan geometry, lattice equivalence, failure
+containment, cross-mode resume, and the parallel driver entry points.
+
+The contract under test is the one DESIGN.md section 12 states: for any
+worker count the sharded engine must report the *same analysis answer* as
+the serial engine — scheduling may differ, the lattice outcome may not —
+and every parallel-infrastructure failure (dead worker, unpicklable
+client, unshippable states) degrades to a contained serial escape hatch
+with a diagnostic, never a hang or a crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses.cartesian import CartesianClient
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core import diagnostics
+from repro.core.driver import analyze_batch, analyze_with_fallback
+from repro.core.engine import EngineLimits, PCFGEngine
+from repro.core.shard import KILL_ENV, SHARD_FACTOR, ShardedEngine, ShardPlan
+from repro.lang import programs
+from repro.lang.cfg import build_cfg
+from repro.obs import recorder as obs
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _cfg(name):
+    return build_cfg(programs.get(name).parse())
+
+
+def _answer(result):
+    """The observable lattice answer (scheduling-independent fields)."""
+    return (
+        result.confidence,
+        result.gave_up,
+        frozenset(result.matches),
+        tuple(result.vacuous_blocks),
+        len(result.final_states),
+        result.topology.describe(),
+    )
+
+
+def _serial(name, client_factory=SimpleSymbolicClient, limits=None):
+    return PCFGEngine(_cfg(name), client_factory(), limits).run()
+
+
+def _sharded(name, jobs, client_factory=SimpleSymbolicClient, limits=None):
+    return ShardedEngine(_cfg(name), client_factory(), limits, jobs=jobs).run()
+
+
+SMALL_CORPUS = ["pingpong", "shift_right", "master_worker", "mdcask_full"]
+
+
+# -- ShardPlan geometry -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "num_ranks,num_shards", [(1, 1), (1, 8), (7, 2), (40, 4), (40, 8), (100, 16)]
+)
+def test_shard_plan_partitions_every_rank(num_ranks, num_shards):
+    plan = ShardPlan(num_ranks, num_shards)
+    # the plan clamps to the rank domain: never more shards than ranks+1
+    assert 1 <= plan.num_shards <= min(num_shards, num_ranks + 1)
+    assert len(plan.cuts) == plan.num_shards - 1
+    assert list(plan.cuts) == sorted(plan.cuts)
+    shards = [plan.shard_of(rank) for rank in range(num_ranks)]
+    # total function into [0, num_shards), monotone in RPO rank
+    assert all(0 <= shard < plan.num_shards for shard in shards)
+    assert shards == sorted(shards)
+
+
+def test_shard_plan_single_shard_is_identity():
+    plan = ShardPlan(25, 1)
+    assert plan.cuts == ()
+    assert {plan.shard_of(rank) for rank in range(25)} == {0}
+
+
+def test_shard_plan_spreads_ranks_when_possible():
+    plan = ShardPlan(64, 4)
+    assert len({plan.shard_of(rank) for rank in range(64)}) == 4
+
+
+def test_sharded_engine_overshards_for_stealing():
+    engine = ShardedEngine(_cfg("pingpong"), SimpleSymbolicClient(), jobs=3)
+    assert engine.jobs == 3
+    assert SHARD_FACTOR >= 2  # more shards than workers -> queue steals
+
+
+# -- lattice equivalence ------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+@pytest.mark.parametrize("name", SMALL_CORPUS)
+def test_sharded_answer_equals_serial(name, jobs):
+    assert _answer(_sharded(name, jobs)) == _answer(_serial(name))
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_sharded_cartesian_answer_equals_serial(jobs):
+    serial = _serial("mdcask_full", CartesianClient)
+    sharded = _sharded("mdcask_full", jobs, CartesianClient)
+    assert serial.confidence == diagnostics.EXACT
+    assert _answer(sharded) == _answer(serial)
+
+
+def test_jobs_one_delegates_to_serial_engine():
+    """jobs=1 must be the serial engine bit for bit (steps included)."""
+    serial = _serial("mdcask_full")
+    one = _sharded("mdcask_full", 1)
+    assert _answer(one) == _answer(serial)
+    assert one.steps == serial.steps
+
+
+# -- obs counter shipping -----------------------------------------------------
+
+
+def test_worker_counters_merge_into_parent_recorder():
+    with obs.recording() as recorder:
+        result = _sharded("mdcask_full", 2)
+    assert not result.gave_up
+    assert recorder.counters.get("engine.steps", 0) > 0
+    assert recorder.counters.get("engine.shard.rounds", 0) >= 1
+
+
+# -- failure containment ------------------------------------------------------
+
+
+def test_killed_worker_degrades_to_partial_with_diagnostic(monkeypatch):
+    """SIGKILLing a worker mid-round must not hang: the engine drains the
+    lost shard in-process and admits the loss in the diagnostics."""
+    monkeypatch.setenv(KILL_ENV, "0")
+    serial = _serial("mdcask_full")
+    result = _sharded("mdcask_full", 2)
+    assert result.confidence == diagnostics.PARTIAL
+    codes = [diag.code for diag in result.diagnostics]
+    assert diagnostics.SHARD_WORKER_LOST in codes
+    # the inline drain still finishes the analysis: same match relation
+    assert frozenset(result.matches) == frozenset(serial.matches)
+
+
+def test_unpicklable_client_falls_back_to_serial():
+    client = SimpleSymbolicClient()
+    client.poison = lambda: None  # closures cannot cross the pool boundary
+    result = ShardedEngine(_cfg("pingpong"), client, jobs=2).run()
+    assert _answer(result)[0] == diagnostics.EXACT
+    codes = [diag.code for diag in result.diagnostics]
+    assert diagnostics.SHARD_FALLBACK in codes
+    fallback = next(
+        diag for diag in result.diagnostics
+        if diag.code == diagnostics.SHARD_FALLBACK
+    )
+    assert fallback.severity == diagnostics.INFO
+    assert frozenset(result.matches) == frozenset(_serial("pingpong").matches)
+
+
+def test_strict_mode_forces_single_process():
+    """strict wants deterministic first-failure order: serial semantics."""
+    limits = EngineLimits(strict=True)
+    serial = _serial("pingpong", limits=limits)
+    sharded = _sharded("pingpong", 4, limits=limits)
+    assert _answer(sharded) == _answer(serial)
+    assert sharded.steps == serial.steps
+
+
+# -- cross-mode checkpoint interop --------------------------------------------
+
+
+def _trip(engine_cls, jobs=None, max_steps=10):
+    limits = EngineLimits(max_steps=max_steps)
+    cfg = _cfg("mdcask_full")
+    if jobs is None:
+        engine = engine_cls(cfg, SimpleSymbolicClient(), limits)
+    else:
+        engine = engine_cls(cfg, SimpleSymbolicClient(), limits, jobs=jobs)
+    return engine.run()
+
+
+def test_sharded_trip_resumes_in_serial_engine():
+    tripped = _trip(ShardedEngine, jobs=2)
+    assert any(
+        diag.code in diagnostics.BUDGET_CODES for diag in tripped.diagnostics
+    )
+    assert tripped.snapshot is not None
+    clean = _serial("mdcask_full")
+    resumed = PCFGEngine(
+        _cfg("mdcask_full"), SimpleSymbolicClient()
+    ).run(resume=tripped.snapshot)
+    assert resumed.resumed_from
+    assert resumed.confidence == diagnostics.EXACT
+    assert frozenset(resumed.matches) == frozenset(clean.matches)
+    assert resumed.topology.describe() == clean.topology.describe()
+
+
+def test_serial_trip_resumes_in_sharded_engine():
+    tripped = _trip(PCFGEngine)
+    assert tripped.snapshot is not None
+    clean = _serial("mdcask_full")
+    resumed = ShardedEngine(
+        _cfg("mdcask_full"), SimpleSymbolicClient(), jobs=2
+    ).run(resume=tripped.snapshot)
+    assert resumed.resumed_from
+    assert resumed.confidence == diagnostics.EXACT
+    assert frozenset(resumed.matches) == frozenset(clean.matches)
+    assert resumed.topology.describe() == clean.topology.describe()
+
+
+def test_sharded_trip_resumes_in_sharded_engine():
+    tripped = _trip(ShardedEngine, jobs=2)
+    assert tripped.snapshot is not None
+    clean = _serial("mdcask_full")
+    resumed = ShardedEngine(
+        _cfg("mdcask_full"), SimpleSymbolicClient(), jobs=2
+    ).run(resume=tripped.snapshot)
+    assert resumed.confidence == diagnostics.EXACT
+    assert frozenset(resumed.matches) == frozenset(clean.matches)
+
+
+# -- parallel driver entry points ---------------------------------------------
+
+
+def test_parallel_batch_matches_serial_in_order():
+    items = [programs.get(name) for name in SMALL_CORPUS]
+
+    def digest(pairs):
+        return [
+            (
+                getattr(item, "name", "?"),
+                report.rung_name,
+                report.result.confidence,
+                frozenset(report.result.matches),
+            )
+            for item, report in pairs
+        ]
+
+    serial = digest(analyze_batch(items))
+    parallel = digest(analyze_batch(items, jobs=2))
+    assert parallel == serial  # same answers, input order preserved
+
+
+def test_parallel_batch_merges_worker_counters():
+    items = [programs.get(name) for name in SMALL_CORPUS]
+    with obs.recording() as recorder:
+        list(analyze_batch(items, jobs=2))
+    assert recorder.counters.get("engine.steps", 0) > 0
+
+
+def test_parallel_rungs_pick_the_serial_choice():
+    serial = analyze_with_fallback(programs.get("mdcask_full"))
+    parallel = analyze_with_fallback(programs.get("mdcask_full"), jobs=2)
+    assert parallel.rung_name == serial.rung_name
+    assert parallel.result.confidence == serial.result.confidence
+    assert frozenset(parallel.result.matches) == frozenset(serial.result.matches)

@@ -1,0 +1,60 @@
+"""Sharded-vs-serial equivalence over a large generated corpus slice.
+
+The 12-program named corpus (``test_lattice_equivalence``) covers the
+paper's topologies; this sweep covers what the grammar can invent — 200
+seeded-generator programs, each analyzed serially and with the sharded
+engine at several worker counts.  The observable outcome (convergence,
+confidence, match relation, vacuous blocks) must be identical at every
+worker count: the parallel executor is only allowed to be a scheduler.
+
+Excluded from tier-1 by the ``parallel_slow`` marker (hundreds of pool
+spawns); the CI ``parallel-smoke`` job runs it with
+``pytest -m parallel_slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core.engine import PCFGEngine
+from repro.core.shard import ShardedEngine
+from repro.corpus.generator import generate, seed_stream
+from repro.corpus.sweep import SMOKE_SEED
+from repro.lang.cfg import build_cfg
+
+pytestmark = pytest.mark.parallel_slow
+
+SLICE_SIZE = 200
+
+
+def _answer(result):
+    return (
+        result.confidence,
+        result.gave_up,
+        frozenset(result.matches),
+        tuple(result.vacuous_blocks),
+        len(result.final_states),
+    )
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_generated_slice_sharded_equivalence(jobs):
+    mismatches = []
+    for seed in seed_stream(SMOKE_SEED, SLICE_SIZE):
+        generated = generate(seed)
+        program = generated.parse()
+        serial = _answer(
+            PCFGEngine(build_cfg(program), SimpleSymbolicClient()).run()
+        )
+        sharded = _answer(
+            ShardedEngine(
+                build_cfg(program), SimpleSymbolicClient(), jobs=jobs
+            ).run()
+        )
+        if sharded != serial:
+            mismatches.append((generated.corpus_id, seed, serial, sharded))
+    assert not mismatches, (
+        f"jobs={jobs}: {len(mismatches)} generated program(s) changed their "
+        f"answer under sharding: {mismatches[:5]}"
+    )

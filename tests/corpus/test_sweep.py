@@ -21,6 +21,7 @@ from repro.corpus.sweep import (
     shrink_divergence,
     write_manifest,
 )
+from repro.obs import recorder as obs
 
 MANIFEST = Path(__file__).resolve().parents[2] / "corpus" / "manifest_smoke.json"
 
@@ -123,3 +124,30 @@ class TestSweepDriver:
         assert summary.divergent_ids
         assert summary.regression_files
         assert all(Path(f).exists() for f in summary.regression_files)
+
+    def test_pool_workers_ship_their_counters_home(self):
+        """The parallel sweep must not lose obs counters to the fork: the
+        parent recorder sees the same engine counts at any job count."""
+        seeds = [g.seed for g in load_manifest(MANIFEST)[:4]]
+        with obs.recording() as recorder:
+            serial = run_sweep(seeds, tier="smoke", base_seed=SMOKE_SEED)
+        serial_steps = recorder.counters.get("engine.steps", 0)
+        assert serial_steps > 0
+        with obs.recording() as recorder:
+            pooled = run_sweep(seeds, tier="smoke", base_seed=SMOKE_SEED, jobs=2)
+        assert pooled.counts == serial.counts
+        assert recorder.counters.get("engine.steps", 0) == serial_steps
+        # per-record snapshots also survive in the JSONL payload
+        assert recorder.counters.get("sweep.programs", 0) == len(seeds)
+
+    def test_pool_counters_skipped_when_not_recording(self):
+        seeds = [g.seed for g in load_manifest(MANIFEST)[:2]]
+
+        captured = []
+        summary = run_sweep(
+            seeds, tier="smoke", base_seed=SMOKE_SEED, jobs=2,
+            on_record=captured.append,
+        )
+        assert summary.total == 2
+        # observability disabled: workers must not pay for a recorder
+        assert all(record.counters is None for record in captured)
