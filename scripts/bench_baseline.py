@@ -57,6 +57,11 @@ against that tree by paired subprocesses (``disabled_vs_tree``): the
 recorded cost of *having* the instrumentation while it is off, target
 <= 2% (``"off_target": 0.02``).  See :func:`measure_provenance_overhead`
 and :func:`measure_disabled_vs_tree`.
+
+``--out`` documents also record ``"serve"``: a duplicate-heavy corpus
+replay against an in-process ``repro serve`` stack — requests/sec,
+cache-hit rate (gated: >= 0.9 on the warm replay), shed rate, and
+latency percentiles.  See :func:`measure_serve`.
 """
 
 from __future__ import annotations
@@ -560,6 +565,66 @@ def _instrumented(workload: Callable[[], None]) -> Dict[str, int]:
     return {key: int(snapshot.get(key, 0)) for key in TRACKED_COUNTERS}
 
 
+# -- the analysis service ------------------------------------------------------
+
+#: the duplicate-heavy replay must be served at least this much from the
+#: content-addressed cache (the PR 8 service gate)
+SERVE_HIT_RATE_TARGET = 0.9
+
+
+def measure_serve() -> dict:
+    """Duplicate-heavy corpus replay against an in-process service.
+
+    Spins up the ``repro serve`` stack (scheduler + HTTP, inline
+    isolation so the numbers measure the service layer rather than
+    process forks), warms one copy of each distinct program, then
+    replays the duplicate storm concurrently — the steady-state access
+    pattern of a popular service.  Records requests/sec, cache-hit
+    rate (gated: >= ``SERVE_HIT_RATE_TARGET``), shed rate, and latency
+    percentiles.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.serve.daemon import AnalysisService, ServiceConfig
+    from repro.serve.http import AnalysisHTTPServer
+    from repro.serve.loadgen import corpus_mix, run_load
+
+    distinct, duplicates = 5, 10
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    config = ServiceConfig(
+        state_dir=state_dir, workers=2, isolation="inline", queue_size=64
+    )
+    service = AnalysisService(config)
+    service.start()
+    httpd = AnalysisHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        metrics = run_load(
+            base,
+            corpus_mix(distinct, duplicates),
+            concurrency=8,
+            warm_distinct=corpus_mix(distinct, 1),
+            deadline_sec=20.0,
+        )
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+        shutil.rmtree(state_dir, ignore_errors=True)
+        _reset()
+    metrics["distinct"] = distinct
+    metrics["duplicates"] = duplicates
+    metrics["gate"] = {
+        "target_hit_rate": SERVE_HIT_RATE_TARGET,
+        "met": metrics["cache_hit_rate"] >= SERVE_HIT_RATE_TARGET,
+    }
+    return metrics
+
+
 def measure() -> dict:
     """Median-of-5 cold wall times plus cold and warm instrumented runs."""
     benches: Dict[str, dict] = {}
@@ -598,6 +663,7 @@ def write_baseline(out: Path, pre: Path = None, prov_pre_tree: Path = None) -> d
     document["checkpoint_overhead"] = measure_checkpoint_overhead()
     old = json.loads(pre.read_text()) if pre is not None else None
     document["parallel"] = measure_parallel()
+    document["serve"] = measure_serve()
     document["provenance_overhead"] = measure_provenance_overhead()
     if prov_pre_tree is not None:
         document["provenance_overhead"]["disabled_vs_tree"] = (
@@ -695,6 +761,15 @@ def main(argv=None) -> int:
         print(
             f"parallel gate: {gate['target_speedup']}x at jobs={gate['at_jobs']} "
             f"{status} on {par['cpus']} cpu(s) ({scope})"
+        )
+        serve = document["serve"]
+        status = "met" if serve["gate"]["met"] else "NOT met"
+        print(
+            f"serve replay: {serve['requests_per_sec']:.0f} req/s, "
+            f"hit rate {serve['cache_hit_rate']:.2f} "
+            f"(target >= {serve['gate']['target_hit_rate']}, {status}), "
+            f"shed rate {serve['shed_rate']:.2f}, "
+            f"p99 {serve['latency_ms']['p99']:.1f}ms"
         )
         prov = document["provenance_overhead"]
         for name, entry in sorted(prov["workloads"].items()):

@@ -19,6 +19,10 @@
 #                  output diff against the serial run
 #   sweep-smoke -> differential corpus sweep over the pinned smoke manifest
 #                  (analyzer vs concrete interpreter; fails on divergence)
+#   serve-smoke -> start a real `repro serve` daemon, replay a duplicate-heavy
+#                  corpus through scripts/loadgen.py (cache-hit-rate >= 0.9,
+#                  zero errors), SIGTERM-drain it, then run the SIGKILL
+#                  kill-and-restart recovery suite (tests/serve/test_crash.py)
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -104,6 +108,21 @@ step "sweep-smoke: differential corpus sweep" bash -c '
   python -m repro sweep --tier smoke --seed 1337 --jobs 4 \
       --report sweep-smoke.jsonl &&
   rm -f sweep-smoke.jsonl'
+step "serve-smoke: daemon serves, caches, and drains" bash -c '
+  rm -rf .ci-serve &&
+  python -m repro serve --state-dir .ci-serve --port 0 --workers 2 &
+  daemon=$!
+  for _ in $(seq 1 100); do [ -f .ci-serve/daemon.json ] && break; sleep 0.2; done
+  python scripts/loadgen.py --state-dir .ci-serve \
+      --distinct 3 --dup 10 --concurrency 4 \
+      --assert-hit-rate 0.9 --assert-max-errors 0
+  status=$?
+  kill -TERM "$daemon" 2>/dev/null
+  wait "$daemon" || status=1
+  rm -rf .ci-serve
+  exit "$status"'
+step "serve-smoke: SIGKILL kill-and-restart recovery suite" \
+  python -m pytest tests/serve/test_crash.py -q
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json

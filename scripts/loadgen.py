@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Corpus-replay load generator for a running ``repro serve`` daemon.
+
+Replays a duplicate-heavy mix of corpus-generator programs and prints
+(or writes, with ``--out``) the service-level metrics document:
+requests/sec, cache-hit rate, shed rate, latency percentiles.  Gates
+(``--assert-hit-rate``, ``--assert-max-errors``) make it usable as a CI
+smoke step.
+
+Usage::
+
+    PYTHONPATH=src python scripts/loadgen.py --state-dir .repro-serve
+    PYTHONPATH=src python scripts/loadgen.py --url http://127.0.0.1:8642 \
+        --distinct 5 --dup 10 --concurrency 8 --assert-hit-rate 0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.loadgen import corpus_mix, run_load  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None, help="daemon base URL (overrides --state-dir discovery)"
+    )
+    parser.add_argument(
+        "--state-dir", default=".repro-serve",
+        help="state directory whose daemon.json locates the daemon "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=5,
+        help="distinct generated programs (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dup", type=int, default=10,
+        help="submissions per distinct program (default: %(default)s)",
+    )
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument(
+        "--deadline-sec", type=float, default=20.0,
+        help="per-request engine deadline budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the warm-first phase: race all duplicates concurrently "
+             "(exercises request coalescing instead of steady-state hits)",
+    )
+    parser.add_argument("--out", default=None, help="write the metrics JSON here")
+    parser.add_argument(
+        "--assert-hit-rate", type=float, default=None, metavar="RATE",
+        help="exit nonzero when cache_hit_rate falls below RATE",
+    )
+    parser.add_argument(
+        "--assert-max-errors", type=int, default=None, metavar="N",
+        help="exit nonzero when more than N requests errored",
+    )
+    args = parser.parse_args(argv)
+
+    base_url = args.url
+    if base_url is None:
+        from repro.serve.http import discover
+
+        located = discover(args.state_dir)
+        if located is None:
+            print(
+                f"error: no live daemon found via {args.state_dir}/daemon.json "
+                f"(start one with: repro serve --state-dir {args.state_dir})",
+                file=sys.stderr,
+            )
+            return 2
+        base_url = f"http://{located[0]}:{located[1]}"
+
+    distinct = corpus_mix(args.distinct, 1, seed=args.seed)
+    mix = corpus_mix(args.distinct, args.dup, seed=args.seed)
+    metrics = run_load(
+        base_url,
+        mix,
+        concurrency=args.concurrency,
+        warm_distinct=None if args.no_warm else distinct,
+        deadline_sec=args.deadline_sec,
+    )
+    metrics["distinct"] = args.distinct
+    metrics["duplicates"] = args.dup
+    metrics["warm_first"] = not args.no_warm
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    if args.out:
+        Path(args.out).write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+
+    if args.assert_hit_rate is not None and metrics["cache_hit_rate"] < args.assert_hit_rate:
+        print(
+            f"FAIL: cache_hit_rate {metrics['cache_hit_rate']:.3f} < "
+            f"{args.assert_hit_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.assert_max_errors is not None and metrics["errors"] > args.assert_max_errors:
+        print(
+            f"FAIL: {metrics['errors']} errors > {args.assert_max_errors}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

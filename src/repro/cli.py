@@ -595,6 +595,106 @@ def sweep_main(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the analysis service: a crash-safe HTTP daemon with "
+                    "admission control, a content-addressed result cache, "
+                    "retry/backoff, per-rung circuit breakers, and graceful "
+                    "SIGTERM drain (see DESIGN.md section 13).",
+    )
+    parser.add_argument(
+        "--state-dir", default=".repro-serve", metavar="DIR",
+        help="durable state: job journal, result cache, daemon.json discovery "
+             "file (default: %(default)s)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks an ephemeral port, published in "
+             "daemon.json; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded admission queue; beyond it requests are shed with 429 "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--degrade-at", type=float, default=0.75, metavar="FRACTION",
+        help="queue fill fraction above which executions degrade to the "
+             "baseline-only ladder (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="attempt retries after worker loss or watchdog timeout "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SEC",
+        help="per-attempt watchdog override (default: derived from the "
+             "ladder's deadline budget)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SEC",
+        help="graceful-shutdown budget; unfinished jobs stay journaled for "
+             "the next daemon (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--deadline-sec", type=float, default=30.0,
+        help="default per-job wall-clock budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tenants", default=None, metavar="FILE",
+        help='per-tenant QoS budgets as JSON: {"name": {"deadline_sec": ..., '
+             '"max_steps": ..., "max_state_bytes": ...}}',
+    )
+    parser.add_argument(
+        "--inline", action="store_true",
+        help="run attempts in worker threads instead of disposable worker "
+             "processes (tests/bench; no crash isolation)",
+    )
+    parser.add_argument(
+        "--allow-test-faults", action="store_true",
+        help="honor test_fault injection directives in requests (crash "
+             "tests only; never in production)",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def serve_main(argv) -> int:
+    from repro.serve.daemon import ServiceConfig, TenantBudget, load_tenants
+    from repro.serve.http import run_server
+    from repro.serve.retry import RetryPolicy
+
+    args = build_serve_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
+    tenants = {}
+    if args.tenants:
+        tenants = load_tenants(args.tenants)
+    tenants.setdefault("default", TenantBudget(deadline_sec=args.deadline_sec))
+    config = ServiceConfig(
+        state_dir=Path(args.state_dir),
+        workers=args.workers,
+        queue_size=args.queue_size,
+        degrade_at=args.degrade_at,
+        isolation="inline" if args.inline else "process",
+        retry=RetryPolicy(max_retries=args.max_retries),
+        job_timeout_sec=args.job_timeout,
+        allow_test_faults=args.allow_test_faults,
+        tenants=tenants,
+    )
+    run_server(
+        config, host=args.host, port=args.port,
+        drain_timeout_sec=args.drain_timeout,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     """Top-level entry point: GiveUp-family failures exit nonzero with a
     one-line message, never a traceback."""
@@ -618,6 +718,8 @@ def _main(argv=None) -> int:
         return explain_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "resume":
         # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
         return _main(list(argv[1:]) + ["--resume"])

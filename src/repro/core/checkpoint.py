@@ -394,6 +394,49 @@ def restore_run(snapshot: Snapshot, engine) -> RestoredRun:
 # -- the on-disk checkpointer -------------------------------------------------
 
 
+def atomic_write_text(path, text: str, fsync: bool = True) -> None:
+    """Durable atomic file replacement: write-fsync-rename-fsync(dir).
+
+    The temp file is created *next to* the target (same directory, hence
+    same filesystem), so the final ``os.replace`` is a true atomic rename
+    — never the cross-device ``EXDEV`` failure a ``/tmp``-hosted temp
+    file can hit.  With ``fsync`` (the default) the file's bytes are
+    flushed to stable storage before the rename and the directory entry
+    after it, so a power loss leaves either the old file or the complete
+    new one, never a torn write that merely *looks* renamed.  Raises
+    ``OSError`` — callers that must not crash wrap this (see
+    :meth:`Checkpointer.write`).
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            if tmp.exists():
+                os.unlink(tmp)
+        except OSError:
+            pass
+    if fsync:
+        # persist the rename itself; some platforms cannot open a
+        # directory for fsync — that degrades durability, not atomicity
+        try:
+            dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+
 class Checkpointer:
     """Writes snapshots atomically into a directory, one file per analysis.
 
@@ -412,13 +455,25 @@ class Checkpointer:
         return self.directory / f"{self.name}.ckpt.json"
 
     def write(self, snapshot: Snapshot) -> Path:
-        """Atomic write-rename; a crash mid-write never corrupts the file."""
+        """Durable atomic write-rename; a crash mid-write never corrupts
+        the file (see :func:`atomic_write_text`).
+
+        Any I/O failure — unwritable directory, disk full, the directory
+        racing away — surfaces as :class:`SnapshotError` with code
+        :data:`~repro.core.diagnostics.CHECKPOINT_IO`, so callers record
+        a diagnostic instead of dying on a raw ``OSError``.
+        """
         start = time.perf_counter()
         text = snapshot.to_json()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(text)
-        os.replace(tmp, self.path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self.path, text)
+        except OSError as exc:
+            obs.incr("engine.ckpt.io_errors")
+            raise SnapshotError(
+                diagnostics.CHECKPOINT_IO,
+                f"cannot write snapshot {self.path}: {exc}",
+            ) from exc
         obs.incr("engine.ckpt.writes")
         obs.observe("engine.ckpt.bytes", len(text))
         obs.observe("engine.ckpt.write_seconds", time.perf_counter() - start)

@@ -53,6 +53,10 @@ CHECKPOINT_CORRUPT = "CHECKPOINT_CORRUPT"
 #: a checkpoint snapshot was well-formed but belongs to a different format
 #: version, program/CFG, or client analysis; the engine degraded to a cold start
 CHECKPOINT_MISMATCH = "CHECKPOINT_MISMATCH"
+#: a checkpoint snapshot could not be *written* (disk full, permissions,
+#: directory vanished); the analysis continued without crash-safety for
+#: that snapshot instead of crashing on the OSError
+CHECKPOINT_IO = "CHECKPOINT_IO"
 #: a sharded-fixpoint worker process died mid-round (killed, OOM, crash);
 #: the parent drained the remaining work in-process and the result is a
 #: sound partial/complete answer, never a hang
@@ -72,6 +76,7 @@ ALL_CODES = (
     CFG_MALFORMED,
     CHECKPOINT_CORRUPT,
     CHECKPOINT_MISMATCH,
+    CHECKPOINT_IO,
     SHARD_WORKER_LOST,
     SHARD_FALLBACK,
 )

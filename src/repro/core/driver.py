@@ -173,6 +173,17 @@ def default_ladder(limits: Optional[EngineLimits] = None) -> List[Rung]:
     ]
 
 
+def baseline_ladder(limits: Optional[EngineLimits] = None) -> List[Rung]:
+    """A single-rung ladder: only the total MPI-CFG baseline.
+
+    The analysis service's degraded-mode answer under load pressure —
+    cheap, total, sound-but-wide — delivered through the same
+    ``analyze_with_fallback`` machinery so reports stay uniform.
+    """
+    base = limits or EngineLimits()
+    return [Rung("mpi-cfg", _run_mpi_cfg_baseline, base)]
+
+
 def _supports_checkpointing(runner) -> bool:
     """True when a rung runner accepts ``checkpointer``/``resume`` kwargs."""
     try:

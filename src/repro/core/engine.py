@@ -526,12 +526,28 @@ class PCFGEngine(StepCore):
             result.steps = saved
 
     def _write_checkpoint(self, snap, result: AnalysisResult) -> None:
-        """Persist a snapshot; a failed write never fails the run."""
+        """Persist a snapshot; a failed write never fails the run.
+
+        An I/O failure (``CHECKPOINT_IO``) is surfaced once per run as an
+        INFO diagnostic — the analysis result stays sound (and can stay
+        ``exact``), but the caller learns crash-safety silently lapsed.
+        """
         try:
             path = self.checkpointer.write(snap)
             result.checkpoint_path = str(path)
-        except Exception:
+        except Exception as exc:
             obs.incr("engine.ckpt.write_errors")
+            code = getattr(exc, "code", diagnostics.CHECKPOINT_IO)
+            if not any(d.code == code for d in result.diagnostics):
+                result.diagnostics.append(
+                    Diagnostic(
+                        code=code,
+                        message=f"checkpoint write failed: {exc}; "
+                                "the run continues without this snapshot",
+                        severity=diagnostics.INFO,
+                    )
+                )
+            slog.warning("engine.checkpoint_failed", code=code, error=str(exc))
             return
         prov = self._prov
         if prov is not None:

@@ -12,13 +12,30 @@ The observability layer has exactly two states:
 
 Instrumented code never branches on the state — it calls the module-level
 :func:`span` / :func:`incr` / :func:`observe` helpers, which dispatch to
-whatever recorder is currently installed.  The recorder is process-global
-and not thread-safe, matching the single-threaded analysis engine.
+whatever recorder is currently installed.
+
+Concurrency model
+-----------------
+
+The default recorder is process-global and unlocked, matching the
+single-threaded analysis engine.  The analysis *service* runs concurrent
+jobs in worker threads, which needs two extra pieces:
+
+* **per-job isolation** (the fast path): :func:`job_recording` installs a
+  private recorder for the current thread only — the same snapshot/merge
+  pattern the PR 7 process pools use, so a job's counters never race with
+  another job's and are folded into the shared recorder in one locked
+  :func:`merge_counters` call at job end;
+* **a locked fallback**: ``Recorder(locked=True)`` serializes counter and
+  histogram updates (and keeps a per-thread span stack), so the *shared*
+  recorder that absorbs those merges — and any stray unisolated
+  ``incr`` from a service thread — stays consistent under concurrency.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
@@ -147,26 +164,52 @@ class _Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         elapsed = perf_counter() - self._start
         recorder = self._recorder
-        recorder._stack.pop()
-        stats = recorder.spans.setdefault(self.name, SpanStats())
-        stats.count += 1
-        stats.total_time += elapsed
-        stats.self_time += elapsed - self._child_time
-        if recorder._stack:
-            recorder._stack[-1]._child_time += elapsed
+        stack = recorder._stack
+        stack.pop()
+        lock = recorder._lock
+        if lock is not None:
+            with lock:
+                stats = recorder.spans.setdefault(self.name, SpanStats())
+                stats.count += 1
+                stats.total_time += elapsed
+                stats.self_time += elapsed - self._child_time
+        else:
+            stats = recorder.spans.setdefault(self.name, SpanStats())
+            stats.count += 1
+            stats.total_time += elapsed
+            stats.self_time += elapsed - self._child_time
+        if stack:
+            stack[-1]._child_time += elapsed
         return False
 
 
 class Recorder:
-    """The enabled recorder: aggregates spans, counters, and histograms."""
+    """The enabled recorder: aggregates spans, counters, and histograms.
+
+    ``locked=True`` makes counter/histogram updates and merges
+    thread-safe and keeps one span stack *per thread*, so a recorder
+    shared by concurrent service threads aggregates consistently.  The
+    default (unlocked) recorder stays free of any synchronization cost.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, locked: bool = False) -> None:
         self.spans: Dict[str, SpanStats] = {}
         self.counters: Dict[str, int] = {}
         self.histograms: Dict[str, HistogramStats] = {}
-        self._stack: List[_Span] = []
+        self._lock: Optional[threading.Lock] = threading.Lock() if locked else None
+        self._tls: Optional[threading.local] = threading.local() if locked else None
+        self._serial_stack: List[_Span] = []
+
+    @property
+    def _stack(self) -> List["_Span"]:
+        if self._tls is None:
+            return self._serial_stack
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def span(self, name: str) -> _Span:
         """A context manager timing one region under ``name``."""
@@ -174,11 +217,21 @@ class Recorder:
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Bump a monotonic counter."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                self.counters[name] = self.counters.get(name, 0) + amount
+        else:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def observe(self, name: str, value: float) -> None:
         """Record one value into a histogram."""
-        self.histograms.setdefault(name, HistogramStats()).add(value)
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                self.histograms.setdefault(name, HistogramStats()).add(value)
+        else:
+            self.histograms.setdefault(name, HistogramStats()).add(value)
 
     def merge_counters(self, counters: Dict[str, int]) -> None:
         """Fold a counter snapshot from another process into this recorder.
@@ -187,11 +240,19 @@ class Recorder:
         cannot share the parent's recorder; they enable a private one,
         return ``dict(recorder.counters)`` with their result, and the
         parent merges it here so ``engine.*``/``sweep.*`` counts survive
-        the pool.  Spans and histograms are deliberately not merged: their
-        wall-clock attribution is only meaningful within one process.
+        the pool.  Service job threads use the same pattern through
+        :func:`job_recording`.  Spans and histograms are deliberately not
+        merged: their wall-clock attribution is only meaningful within
+        one process.
         """
-        for name, amount in counters.items():
-            self.counters[name] = self.counters.get(name, 0) + amount
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                for name, amount in counters.items():
+                    self.counters[name] = self.counters.get(name, 0) + amount
+        else:
+            for name, amount in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + amount
 
     def reset(self) -> None:
         """Drop everything collected so far."""
@@ -233,15 +294,26 @@ AnyRecorder = Union[Recorder, NullRecorder]
 _NULL = NullRecorder()
 _active: AnyRecorder = _NULL
 
+#: per-thread recorder override (see :func:`job_recording`); checked before
+#: the process-global recorder so concurrent jobs stay isolated
+_tls = threading.local()
+
 
 def active_recorder() -> AnyRecorder:
-    """The currently installed recorder (Null when disabled)."""
+    """The currently installed recorder (Null when disabled).
+
+    A thread-local override installed by :func:`job_recording` shadows
+    the process-global recorder for the current thread.
+    """
+    override = getattr(_tls, "override", None)
+    if override is not None:
+        return override
     return _active
 
 
 def enabled() -> bool:
     """True iff observability is currently collecting."""
-    return _active.enabled
+    return active_recorder().enabled
 
 
 def enable(recorder: Optional[Recorder] = None) -> Recorder:
@@ -267,18 +339,24 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Disable and drop all collected data: the pristine default state."""
+    """Disable and drop all collected data: the pristine default state.
+
+    Also clears the *current thread's* job-recording override, so test
+    isolation fixtures return this thread to the global recorder."""
     global _active
     if isinstance(_active, Recorder):
         _active.reset()
     _active = _NULL
+    _tls.override = None
 
 
 @contextmanager
 def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
     """Temporarily install ``recorder`` (default: a fresh one), restoring
     the previous state on exit.  This is how profiling drivers isolate
-    their measurements from the global recorder."""
+    their measurements from the global recorder.  The swap is
+    process-global; concurrent job threads should use
+    :func:`job_recording` instead."""
     global _active
     previous = _active
     installed = recorder if recorder is not None else Recorder()
@@ -289,31 +367,52 @@ def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
         _active = previous
 
 
+@contextmanager
+def job_recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Install a private recorder for the *current thread only*.
+
+    The per-request isolation the analysis service uses: each concurrent
+    job records into its own recorder (no locks on the hot path, no
+    cross-job races), and the caller folds ``dict(recorder.counters)``
+    into the shared recorder with one :func:`merge_counters` call when
+    the job finishes — the same snapshot/merge pattern the PR 7 process
+    pools established.  Nesting restores the previous override on exit.
+    """
+    installed = recorder if recorder is not None else Recorder()
+    previous = getattr(_tls, "override", None)
+    _tls.override = installed
+    try:
+        yield installed
+    finally:
+        _tls.override = previous
+
+
 def span(name: str):
     """Time a region: ``with obs.span("engine.step"): ...``"""
-    return _active.span(name)
+    return active_recorder().span(name)
 
 
 def incr(name: str, amount: int = 1) -> None:
     """Bump a counter on the active recorder."""
-    _active.incr(name, amount)
+    active_recorder().incr(name, amount)
 
 
 def observe(name: str, value: float) -> None:
     """Record a histogram value on the active recorder."""
-    _active.observe(name, value)
+    active_recorder().observe(name, value)
 
 
 def merge_counters(counters: Optional[Dict[str, int]]) -> None:
     """Fold a worker's counter snapshot into the active recorder (no-op
     when disabled or when the snapshot is None/empty)."""
     if counters:
-        _active.merge_counters(counters)
+        active_recorder().merge_counters(counters)
 
 
 def counter_snapshot() -> Optional[Dict[str, int]]:
     """A plain-dict copy of the active recorder's counters for shipping
     across a process boundary, or None when observability is disabled."""
-    if isinstance(_active, Recorder):
-        return dict(_active.counters)
+    recorder = active_recorder()
+    if isinstance(recorder, Recorder):
+        return dict(recorder.counters)
     return None

@@ -1,0 +1,254 @@
+"""Content-addressed result cache for the analysis service.
+
+At millions-of-users scale the common case is the *same* program being
+submitted over and over.  The cache turns that case into an O(1) lookup:
+results are keyed by a digest of
+
+* the **CFG structural fingerprint** (:func:`repro.core.checkpoint.
+  cfg_fingerprint`) — the identity check checkpoints already use, so two
+  textually different builds of the same program share a key while any
+  structural drift (different program, changed lowering) misses;
+* the **ladder** (which rungs, in order, would answer); and
+* the **effective engine limits** (canonicalized field-by-field) — a
+  tenant with a bigger budget must never be served a smaller budget's
+  partial answer, and vice versa.
+
+Entries are one JSON file per key, written with the same durable
+atomic write-rename the checkpointer uses, so a SIGKILL mid-store never
+leaves a torn entry — a cache directory is always a set of valid entries.
+
+Near-miss warm starts
+---------------------
+
+A cached entry may carry the budget-trip **snapshot** of the run that
+produced it.  A submission with the same CFG + client but *different*
+limits misses the cache, but :meth:`ResultCache.warm_snapshot` hands the
+scheduler that snapshot so the new run warm-starts through the engine's
+existing ``run(resume=...)`` path instead of recomputing the explored
+prefix.  Snapshot identity checks (CFG fingerprint + client class) stay
+with the engine — a stale snapshot degrades to a cold start, never a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro import __version__
+from repro.core import diagnostics
+from repro.core.checkpoint import Snapshot, atomic_write_text
+from repro.core.engine import EngineLimits
+from repro.obs import recorder as obs
+
+#: cache entry format version; bump on any incompatible schema change
+ENTRY_FORMAT = "repro-serve-cache/1"
+
+
+def canonical_limits(limits: EngineLimits) -> Dict[str, object]:
+    """A stable, JSON-able rendering of the effective engine limits.
+
+    Every field participates: changing any precision or budget knob must
+    change the cache key (a cheaper budget's partial answer is not the
+    answer to a bigger budget's question).
+    """
+    return {key: value for key, value in sorted(asdict(limits).items())}
+
+
+def compute_key(cfg_fp: str, ladder_id: str, limits: EngineLimits) -> str:
+    """The content address of one analysis question.
+
+    ``cfg_fp`` is the CFG structural fingerprint, ``ladder_id`` names the
+    rung sequence that would answer (e.g. ``"cartesian>cartesian-
+    escalated>simple-symbolic>mpi-cfg"``), and ``limits`` are the
+    *effective* (tenant-clamped) engine limits.  The engine version is
+    folded in so an upgraded analyzer never serves a previous build's
+    answers.
+    """
+    body = json.dumps(
+        {
+            "v": __version__,
+            "format": ENTRY_FORMAT,
+            "cfg": cfg_fp,
+            "ladder": ladder_id,
+            "limits": canonical_limits(limits),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def render_report(report) -> Dict[str, object]:
+    """Flatten a :class:`~repro.core.driver.FallbackReport` into the
+    JSON-plain result document the service returns and caches."""
+    result = report.result
+    return {
+        "confidence": result.confidence,
+        "rung": report.rung_name,
+        "matches": sorted([s, r] for s, r in result.matches),
+        "topology": result.topology.describe(),
+        "diagnostics": [diag.format() for diag in result.diagnostics],
+        "diagnostic_codes": sorted({diag.code for diag in result.diagnostics}),
+        "summary": diagnostics.summarize(result.diagnostics),
+        "steps": result.steps,
+        "resumed_from": getattr(result, "resumed_from", ""),
+        "rungs": [
+            {
+                "name": outcome.name,
+                "confidence": outcome.confidence,
+                "diagnostics": diagnostics.summarize(outcome.result.diagnostics),
+            }
+            for outcome in report.rungs
+        ],
+    }
+
+
+class ResultCache:
+    """Disk-backed, crash-safe, content-addressed result store.
+
+    One JSON file per key under ``directory``; an in-memory LRU mirror
+    bounds the resident set (``max_entries``) while the disk keeps
+    everything.  All operations are thread-safe — the service's worker
+    threads store while its admission path looks up.
+    """
+
+    def __init__(self, directory, max_entries: int = 4096):
+        self.directory = Path(directory)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        #: key -> entry (most-recently-used last)
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        #: (cfg fingerprint, snapshot client name) -> key of an entry
+        #: carrying a warm-start snapshot
+        self._warm: Dict[Tuple[str, str], str] = {}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._load_index()
+
+    # -- internals -------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _load_index(self) -> None:
+        """Rebuild the in-memory index from the entry files on disk.
+
+        Unreadable or malformed files are skipped (counted), never fatal:
+        a half-written entry cannot exist (atomic rename), but a truncated
+        disk can still hand us garbage and the cache must shrug it off.
+        """
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                obs.incr("serve.cache.index_skipped")
+                continue
+            if not isinstance(entry, dict) or entry.get("format") != ENTRY_FORMAT:
+                obs.incr("serve.cache.index_skipped")
+                continue
+            key = entry.get("key") or path.stem
+            self._remember(key, entry)
+
+    def _remember(self, key: str, entry: dict) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        snapshot = entry.get("snapshot")
+        if isinstance(snapshot, dict):
+            client = str(snapshot.get("client", ""))
+            cfg_fp = str(entry.get("cfg", ""))
+            if client and cfg_fp:
+                self._warm[(cfg_fp, client)] = key
+
+    # -- the public surface ----------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The cached result document for ``key``, or None.
+
+        Falls back to disk when the LRU mirror evicted the entry, so the
+        resident-set bound never turns into a correctness miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                obs.incr("serve.cache.hits")
+                return entry
+        path = self._path(key)
+        if path.exists():
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                obs.incr("serve.cache.read_errors")
+                return None
+            if isinstance(entry, dict) and entry.get("format") == ENTRY_FORMAT:
+                with self._lock:
+                    self._remember(key, entry)
+                obs.incr("serve.cache.hits")
+                return entry
+        obs.incr("serve.cache.misses")
+        return None
+
+    def store(
+        self,
+        key: str,
+        cfg_fp: str,
+        ladder_id: str,
+        limits: EngineLimits,
+        result: Dict[str, object],
+        snapshot_payload: Optional[dict] = None,
+    ) -> dict:
+        """Persist one result document (durable atomic write) and index it."""
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "cfg": cfg_fp,
+            "ladder": ladder_id,
+            "limits": canonical_limits(limits),
+            "result": result,
+            "snapshot": snapshot_payload,
+            "created": time.time(),
+        }
+        try:
+            atomic_write_text(
+                self._path(key),
+                json.dumps(entry, sort_keys=True),
+            )
+        except OSError:
+            # a cache that cannot persist still serves from memory
+            obs.incr("serve.cache.write_errors")
+        else:
+            obs.incr("serve.cache.stores")
+        with self._lock:
+            self._remember(key, entry)
+        return entry
+
+    def warm_snapshot(self, cfg_fp: str, client_name: str) -> Optional[Snapshot]:
+        """A cached budget-trip snapshot usable to warm-start ``cfg_fp``
+        under ``client_name``, or None.  The engine re-verifies identity
+        on resume, so a wrong guess costs a cold start, never soundness."""
+        with self._lock:
+            key = self._warm.get((cfg_fp, client_name))
+            entry = self._entries.get(key) if key else None
+        if entry is None:
+            return None
+        payload = entry.get("snapshot")
+        if not isinstance(payload, dict):
+            return None
+        obs.incr("serve.cache.warm_candidates")
+        return Snapshot(payload=payload)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "resident_entries": len(self._entries),
+                "warm_snapshots": len(self._warm),
+                "disk_entries": sum(1 for _ in self.directory.glob("*.json")),
+            }

@@ -1,0 +1,287 @@
+"""HTTP surface of the analysis service (stdlib ``http.server`` only).
+
+A deliberately thin translation layer: every policy decision lives in
+:class:`repro.serve.daemon.AnalysisService`; this module maps requests
+onto it and service verdicts onto status codes:
+
+====================  ===========================================
+``POST /v1/analyze``  submit one program.  ``{"wait": true}``
+                      (default) blocks until the result is ready
+                      (200); ``wait=false`` or a wait timeout
+                      returns 202 + a job id to poll.  Cache hits
+                      return 200 immediately with
+                      ``"cache": "hit"``.  Shed load is 429 with a
+                      ``Retry-After`` header; a draining daemon
+                      answers 503.  Parse errors are 400.
+``POST /v1/batch``    submit many programs; answered/cached items
+                      inline, the rest as one batch job.
+``GET /v1/jobs/<id>`` poll a job (200 done / 202 still running /
+                      404 unknown).
+``GET /healthz``      liveness: 200 as long as the process serves.
+``GET /readyz``       readiness: 503 once draining (load
+                      balancers stop routing before shutdown).
+``GET /stats``        queue depth, cache and breaker state, obs
+                      counters.
+====================  ===========================================
+
+The server is a ``ThreadingHTTPServer``: admission is cheap (parse +
+hash + fsync) and executions happen on the service's own worker
+threads/processes, so request threads only ever block on an Event wait.
+
+``run_server`` wires SIGTERM to a graceful drain: stop admitting,
+finish accepted work, then exit.  A ``daemon.json`` discovery file
+(pid, host, port) is maintained in the state directory for tooling —
+the load generator, the smoke tests, and operators.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.core.checkpoint import atomic_write_text
+from repro.obs import slog
+from repro.serve.daemon import AnalysisService, AnalyzeRequest, ServiceConfig
+
+#: request bodies above this are rejected outright (413) — an admission
+#: control of its own: a 100 MB "program" is a client bug or an attack
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # the service instance is attached to the server object
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default; slog has it
+        slog.debug("serve.http", request=fmt % args)
+
+    def _send_json(self, code: int, document: dict, headers: Optional[dict] = None) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; the job (if any) still completes
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length"})
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body too large"})
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(document, dict):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return None
+        return document
+
+    # -- GET -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/readyz":
+            if self.service.draining:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ready"})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            job = self.service.get_job(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            elif job.done.is_set():
+                self._send_json(200, {"job": job.id, "state": "done", "result": job.result})
+            else:
+                self._send_json(202, {"job": job.id, "state": job.state})
+        else:
+            self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    # -- POST ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        document = self._read_body()
+        if document is None:
+            return
+        if self.path == "/v1/analyze":
+            self._handle_analyze(document)
+        elif self.path == "/v1/batch":
+            self._handle_batch(document)
+        else:
+            self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    def _shed_response(self, info: dict) -> None:
+        if info.get("reason") == "draining":
+            self._send_json(
+                503, {"error": "draining", **info},
+                headers={"Retry-After": info.get("retry_after_sec", 1)},
+            )
+        else:
+            self._send_json(
+                429, {"error": "overloaded", **info},
+                headers={"Retry-After": info.get("retry_after_sec", 1)},
+            )
+
+    def _handle_analyze(self, document: dict) -> None:
+        try:
+            request = AnalyzeRequest.from_json(document)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        wait = bool(document.get("wait", True))
+        status, payload = self.service.submit(request)
+        if status == "hit":
+            self._send_json(200, {"cache": "hit", "result": payload})
+        elif status == "rejected":
+            self._send_json(400, {"error": payload})
+        elif status == "shed":
+            self._shed_response(payload)
+        else:  # accepted
+            job = payload
+            if wait and job.wait(self._wait_budget(document)):
+                self._send_json(200, {"cache": "miss", "job": job.id, "result": job.result})
+            else:
+                self._send_json(202, {"job": job.id, "state": job.state})
+
+    def _handle_batch(self, document: dict) -> None:
+        raw_items = document.get("programs")
+        if not isinstance(raw_items, list) or not raw_items:
+            self._send_json(400, {"error": "'programs' must be a non-empty list"})
+            return
+        shared = {k: document.get(k) for k in ("tenant", "deadline_sec", "max_steps",
+                                               "max_state_bytes") if k in document}
+        try:
+            requests = [
+                AnalyzeRequest.from_json(
+                    {**shared, **(item if isinstance(item, dict) else {"program": item})}
+                )
+                for item in raw_items
+            ]
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        status, payload = self.service.submit_batch(requests)
+        if status == "hit":
+            self._send_json(200, payload)
+        elif status == "shed":
+            self._shed_response(payload)
+        else:
+            job = payload
+            if bool(document.get("wait", True)) and job.wait(self._wait_budget(document)):
+                self._send_json(200, {"job": job.id, **job.result})
+            else:
+                self._send_json(202, {"job": job.id, "state": job.state})
+
+    def _wait_budget(self, document: dict) -> float:
+        try:
+            return float(document.get("wait_timeout_sec", 60.0))
+        except (TypeError, ValueError):
+            return 60.0
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: AnalysisService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def write_discovery(state_dir: Path, host: str, port: int) -> Path:
+    """Publish the daemon's coordinates for tooling (atomic write)."""
+    path = Path(state_dir) / "daemon.json"
+    atomic_write_text(
+        path, json.dumps({"pid": os.getpid(), "host": host, "port": port})
+    )
+    return path
+
+
+def run_server(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    ready: Optional[threading.Event] = None,
+    install_signals: bool = True,
+    drain_timeout_sec: float = 30.0,
+) -> int:
+    """Start the service + HTTP server and block until shutdown.
+
+    SIGTERM/SIGINT trigger the graceful path: mark draining (readyz
+    goes 503), finish accepted work (bounded by ``drain_timeout_sec``;
+    unfinished jobs stay journaled for the next daemon), stop.  Returns
+    the port actually bound (0 requests an ephemeral port).
+    """
+    service = AnalysisService(config)
+    service.start()
+    server = AnalysisHTTPServer((host, port), service)
+    bound_port = server.server_address[1]
+    discovery = write_discovery(config.state_dir, host, bound_port)
+    stop_requested = threading.Event()
+
+    def _on_signal(signum, frame):
+        slog.info("serve.signal", signum=signum)
+        service.begin_drain()  # readyz flips immediately
+        stop_requested.set()
+        # shutdown() must not run on the serving thread; hand it off
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    if ready is not None:
+        ready.set()
+    slog.info("serve.listening", host=host, port=bound_port)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        service.drain(timeout=drain_timeout_sec)
+        try:
+            discovery.unlink()
+        except OSError:
+            pass
+    return bound_port
+
+
+def discover(state_dir) -> Optional[Tuple[str, int]]:
+    """Read the daemon.json discovery file, verifying the port answers."""
+    path = Path(state_dir) / "daemon.json"
+    try:
+        doc = json.loads(path.read_text())
+        host, port = str(doc["host"]), int(doc["port"])
+    except (OSError, ValueError, KeyError):
+        return None
+    try:
+        with socket.create_connection((host, port), timeout=1.0):
+            return host, port
+    except OSError:
+        return None

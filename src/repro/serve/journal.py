@@ -1,0 +1,151 @@
+"""Crash-safe job journal: an append-only JSONL write-ahead log.
+
+The durability contract of the service is *journal-first*: a job is
+acknowledged to the client only after its ``accepted`` record (carrying
+the full request) is on disk, so a daemon that is SIGKILLed at any phase
+and restarted can replay the journal and finish every job it ever
+admitted — at-least-once execution, made effectively-once by the
+content-addressed result cache (re-running an already-cached job is an
+O(1) lookup).
+
+Record stream per job id::
+
+    accepted   {"event": "accepted", "job": ..., "request": {...}, ...}
+    started    {"event": "started", "job": ..., "attempt": 0}
+    retry      {"event": "retry", "job": ..., "attempt": 1, "error": ...}
+    done       {"event": "done", "job": ..., "result": {...}}
+
+Recovery folds the stream: any ``accepted`` without a matching ``done``
+is re-queued; ``done`` records keep completed results addressable across
+restarts.  Appends are flushed and fsynced one line at a time, and a
+torn trailing line (the one write a crash can interrupt) is detected and
+dropped on load.  Startup compaction rewrites the journal atomically to
+just the live tail (pending ``accepted`` + all ``done``), bounding
+replay time for a long-lived daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checkpoint import atomic_write_text
+from repro.obs import recorder as obs
+
+
+class JobJournal:
+    """Append-only JSONL log with fsync-per-record durability."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning).
+
+        The fsync is the point of the journal: ``accepted`` must survive
+        a SIGKILL that lands the instant after the client got its 202.
+        """
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        obs.incr("serve.journal.appends")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading / recovery ----------------------------------------------------
+
+    def load(self) -> List[dict]:
+        """All intact records, oldest first.
+
+        A torn trailing line — the only damage a crash mid-append can
+        cause — is dropped (counted as ``serve.journal.torn``).  A torn
+        line anywhere *else* would mean external corruption; those are
+        dropped too, keeping recovery total.
+        """
+        if not self.path.exists():
+            return []
+        records: List[dict] = []
+        try:
+            raw = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            obs.incr("serve.journal.read_errors")
+            return []
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                obs.incr("serve.journal.torn")
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def fold(self) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        """Fold the record stream into ``(pending, done)`` maps by job id.
+
+        ``pending`` holds the last ``accepted`` record of every job with
+        no ``done`` record — the work a recovering daemon must re-queue.
+        ``done`` holds each job's final record.
+        """
+        accepted: Dict[str, dict] = {}
+        done: Dict[str, dict] = {}
+        for record in self.load():
+            job_id = record.get("job")
+            event = record.get("event")
+            if not isinstance(job_id, str):
+                continue
+            if event == "accepted":
+                accepted[job_id] = record
+            elif event == "done":
+                done[job_id] = record
+        pending = {job_id: rec for job_id, rec in accepted.items() if job_id not in done}
+        return pending, done
+
+    def compact(self, keep: Optional[List[dict]] = None) -> int:
+        """Atomically rewrite the journal to just the live records.
+
+        With no argument, keeps each pending job's ``accepted`` record
+        and every ``done`` record (in original order).  Returns the
+        number of records kept.  The rewrite goes through the same
+        durable write-rename as every other state file, so a crash
+        mid-compaction leaves the previous journal intact.
+        """
+        if keep is None:
+            pending, done = self.fold()
+            keep = []
+            for record in self.load():
+                job_id = record.get("job")
+                event = record.get("event")
+                if event == "accepted" and job_id in pending:
+                    keep.append(record)
+                elif event == "done" and job_id in done:
+                    keep.append(record)
+        text = "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n" for record in keep
+        )
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            atomic_write_text(self.path, text)
+        obs.incr("serve.journal.compactions")
+        return len(keep)

@@ -1,0 +1,135 @@
+"""Corpus-replay load generator for the analysis service.
+
+Replays a duplicate-heavy mix of corpus-generator programs against a
+running daemon — the access pattern a popular service actually sees
+(most submissions are programs someone already submitted) — and
+measures the service-level numbers the bench baseline gates on:
+
+* requests/sec (wall-clock over the whole replay),
+* cache-hit rate (servings answered from the content-addressed cache),
+* shed rate (429s under pressure),
+* latency percentiles.
+
+The default replay is **warm-first**: one copy of each distinct program
+is submitted (and completes) before the duplicate storm starts, so the
+duplicates measure steady-state cache behavior rather than racing the
+first analysis of their own key.  ``warm_first=False`` races everything
+concurrently instead, which additionally exercises request coalescing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+
+def corpus_mix(count: int, duplicates: int, seed: int = 1337) -> List[str]:
+    """``count`` distinct generated programs, each repeated ``duplicates``
+    times, shuffled deterministically by ``seed``."""
+    from repro.corpus.generator import generate
+
+    distinct = [generate(seed + index).source for index in range(count)]
+    mix = [source for source in distinct for _ in range(duplicates)]
+    random.Random(seed).shuffle(mix)
+    return mix
+
+
+def _post_json(url: str, document: dict, timeout: float = 120.0) -> Dict[str, object]:
+    body = json.dumps(document).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+            code = response.status
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            payload = {}
+        code = exc.code
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return {"code": 0, "latency": time.perf_counter() - start, "error": str(exc)}
+    return {"code": code, "latency": time.perf_counter() - start, "payload": payload}
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    last = len(ordered) - 1
+    return ordered[min(last, int(q * last + 0.5))]
+
+
+def run_load(
+    base_url: str,
+    programs: List[str],
+    concurrency: int = 8,
+    warm_distinct: Optional[List[str]] = None,
+    deadline_sec: float = 20.0,
+) -> Dict[str, object]:
+    """Replay ``programs`` against ``base_url`` and summarize.
+
+    ``warm_distinct`` (the distinct program set) enables the warm-first
+    phase.  Returns the metrics document the bench workload publishes.
+    """
+    url = base_url.rstrip("/") + "/v1/analyze"
+    if warm_distinct:
+        for source in warm_distinct:
+            _post_json(url, {"program": source, "deadline_sec": deadline_sec})
+    outcomes: List[Dict[str, object]] = []
+    outcomes_lock = threading.Lock()
+    work: List[str] = list(programs)
+    work_lock = threading.Lock()
+
+    def pump() -> None:
+        while True:
+            with work_lock:
+                if not work:
+                    return
+                source = work.pop()
+            outcome = _post_json(url, {"program": source, "deadline_sec": deadline_sec})
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=pump, daemon=True) for _ in range(max(1, concurrency))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    total = len(outcomes)
+    hits = sum(
+        1 for o in outcomes
+        if o.get("code") == 200 and isinstance(o.get("payload"), dict)
+        and o["payload"].get("cache") == "hit"
+    )
+    ok = sum(1 for o in outcomes if o.get("code") in (200, 202))
+    shed = sum(1 for o in outcomes if o.get("code") == 429)
+    errors = sum(1 for o in outcomes if o.get("code") not in (200, 202, 429))
+    latencies = [o["latency"] for o in outcomes if "latency" in o]
+    return {
+        "requests": total,
+        "elapsed_sec": elapsed,
+        "requests_per_sec": total / elapsed if elapsed > 0 else 0.0,
+        "ok": ok,
+        "cache_hits": hits,
+        "cache_hit_rate": hits / total if total else 0.0,
+        "shed": shed,
+        "shed_rate": shed / total if total else 0.0,
+        "errors": errors,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50) * 1000.0,
+            "p90": _percentile(latencies, 0.90) * 1000.0,
+            "p99": _percentile(latencies, 0.99) * 1000.0,
+        },
+    }

@@ -441,3 +441,101 @@ def test_cli_resume_without_snapshot_is_a_clean_cold_start(tmp_path, capsys):
         ["resume", "pingpong", "--no-validate", "--checkpoint-dir", str(tmp_path)]
     ) == 0
     assert capsys.readouterr().out == clean_out
+
+
+# -- checkpoint I/O hardening (atomic_write_text + CHECKPOINT_IO) -------------
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        from repro.core.checkpoint import atomic_write_text
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"a": 1}')
+        assert target.read_text() == '{"a": 1}'
+
+    def test_overwrite_replaces_whole_content(self, tmp_path):
+        from repro.core.checkpoint import atomic_write_text
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "long " * 100)
+        atomic_write_text(target, "short")
+        assert target.read_text() == "short"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        from repro.core.checkpoint import atomic_write_text
+
+        atomic_write_text(tmp_path / "a.json", "x")
+        atomic_write_text(tmp_path / "b.json", "y")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json", "b.json"]
+
+    def test_temp_lives_next_to_target(self, tmp_path, monkeypatch):
+        # the tmp file must be created in the target's directory (same
+        # filesystem), or os.replace could face a cross-device move
+        from pathlib import Path
+
+        import repro.core.checkpoint as ckpt
+
+        seen = {}
+        real_replace = ckpt.os.replace
+
+        def spy(src, dst):
+            seen["src"], seen["dst"] = str(src), str(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(ckpt.os, "replace", spy)
+        ckpt.atomic_write_text(tmp_path / "c.json", "z")
+        assert Path(seen["src"]).parent == Path(seen["dst"]).parent
+
+
+class TestCheckpointIOFailures:
+    def _blocked_checkpointer(self, tmp_path):
+        # the "directory" is a regular file, so mkdir(exist_ok=True)
+        # raises OSError — a deterministic I/O failure even when running
+        # as root (where permission bits would not stop the write)
+        blocked = tmp_path / "blocked"
+        blocked.write_text("I am a file, not a directory")
+        return Checkpointer(blocked, name="analysis")
+
+    def test_unwritable_directory_raises_snapshot_error(self, tmp_path):
+        checkpointer = self._blocked_checkpointer(tmp_path)
+        snapshot = Snapshot(payload={"format": FORMAT, "cfg": "", "client": ""})
+        with pytest.raises(SnapshotError) as excinfo:
+            checkpointer.write(snapshot)
+        assert excinfo.value.code == diagnostics.CHECKPOINT_IO
+
+    def test_engine_survives_failed_checkpoint_write(self, tmp_path):
+        checkpointer = self._blocked_checkpointer(tmp_path)
+        checkpointer.every_steps = 2
+        result = _run(
+            "pingpong", CartesianClient,
+            EngineLimits(), checkpointer=checkpointer,
+        )
+        codes = [diag.code for diag in result.diagnostics]
+        assert diagnostics.CHECKPOINT_IO in codes
+        # the INFO diagnostic must not degrade the analysis itself
+        assert result.confidence == diagnostics.EXACT
+        assert result.checkpoint_path is None
+
+    def test_io_diagnostic_is_deduplicated_per_run(self, tmp_path):
+        checkpointer = self._blocked_checkpointer(tmp_path)
+        checkpointer.every_steps = 1  # fail the write at every step
+        result = _run(
+            "pingpong", CartesianClient,
+            EngineLimits(), checkpointer=checkpointer,
+        )
+        codes = [diag.code for diag in result.diagnostics]
+        assert codes.count(diagnostics.CHECKPOINT_IO) == 1
+
+    def test_io_failure_is_counted(self, tmp_path):
+        from repro.obs import recorder as obs
+
+        checkpointer = self._blocked_checkpointer(tmp_path)
+        checkpointer.every_steps = 2
+        with obs.recording() as recorder:
+            _run(
+                "pingpong", CartesianClient,
+                EngineLimits(), checkpointer=checkpointer,
+            )
+        assert recorder.counters.get("engine.ckpt.io_errors", 0) >= 1
+        assert recorder.counters.get("engine.ckpt.write_errors", 0) >= 1

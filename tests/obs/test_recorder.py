@@ -188,3 +188,149 @@ class TestGlobalState:
             rec.observe("h", 2.5)
         text = json.dumps(rec.snapshot())
         assert json.loads(text)["histograms"]["h"]["mean"] == 2.5
+
+
+class TestLockedRecorder:
+    """``Recorder(locked=True)``: the thread-safe shared recorder the
+    analysis service installs."""
+
+    def test_concurrent_incr_loses_no_updates(self):
+        import threading
+
+        rec = Recorder(locked=True)
+        threads = [
+            threading.Thread(
+                target=lambda: [rec.incr("c") for _ in range(2000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters["c"] == 16000
+
+    def test_concurrent_merge_counters(self):
+        import threading
+
+        rec = Recorder(locked=True)
+        threads = [
+            threading.Thread(
+                target=lambda: [rec.merge_counters({"a": 1, "b": 2}) for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters == {"a": 4000, "b": 8000}
+
+    def test_span_stacks_are_per_thread(self):
+        import threading
+
+        rec = Recorder(locked=True)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    with rec.span("outer"):
+                        with rec.span("inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert rec.spans["outer"].count == 1200
+        assert rec.spans["inner"].count == 1200
+        # nested attribution stays sane: inner time is inside outer time
+        assert rec.spans["outer"].self_time <= rec.spans["outer"].total_time
+
+    def test_concurrent_observe(self):
+        import threading
+
+        rec = Recorder(locked=True)
+        threads = [
+            threading.Thread(
+                target=lambda: [rec.observe("h", 1.0) for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.histograms["h"].count == 4000
+        assert rec.histograms["h"].total == 4000.0
+
+
+class TestJobRecording:
+    """Per-thread recorder isolation for concurrent service jobs."""
+
+    def test_override_shadows_the_global_recorder(self):
+        shared = obs.enable(Recorder(locked=True))
+        with obs.job_recording() as mine:
+            obs.incr("job.events")
+            assert obs.active_recorder() is mine
+        assert obs.active_recorder() is shared
+        assert "job.events" not in shared.counters
+        assert mine.counters["job.events"] == 1
+
+    def test_merge_after_job_lands_in_shared(self):
+        shared = obs.enable(Recorder(locked=True))
+        with obs.job_recording() as mine:
+            obs.incr("job.events", 3)
+            counters = dict(mine.counters)
+        obs.merge_counters(counters)
+        assert shared.counters["job.events"] == 3
+
+    def test_concurrent_jobs_do_not_cross_talk(self):
+        import threading
+
+        shared = obs.enable(Recorder(locked=True))
+        seen = {}
+
+        def job(name, amount):
+            with obs.job_recording() as mine:
+                for _ in range(amount):
+                    obs.incr("work")
+                seen[name] = dict(mine.counters)
+            obs.merge_counters(seen[name])
+
+        threads = [
+            threading.Thread(target=job, args=(f"job{i}", (i + 1) * 100))
+            for i in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [seen[f"job{i}"]["work"] for i in range(5)] == [
+            100, 200, 300, 400, 500
+        ]
+        assert shared.counters["work"] == 1500
+
+    def test_nested_job_recording_restores_previous(self):
+        with obs.job_recording() as outer:
+            with obs.job_recording() as inner:
+                obs.incr("deep")
+                assert obs.active_recorder() is inner
+            assert obs.active_recorder() is outer
+            obs.incr("shallow")
+        assert inner.counters == {"deep": 1}
+        assert outer.counters == {"shallow": 1}
+
+    def test_reset_clears_the_thread_override(self):
+        from repro.obs.recorder import _tls
+
+        obs.enable()
+        _tls.override = Recorder()
+        obs.reset()
+        assert getattr(_tls, "override", None) is None
+        assert not obs.enabled()

@@ -1,0 +1,187 @@
+"""The HTTP surface: route/status-code mapping over an in-thread server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.corpus.generator import generate
+from repro.serve.daemon import AnalysisService, ServiceConfig
+from repro.serve.http import AnalysisHTTPServer
+from repro.serve.retry import RetryPolicy
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServiceConfig(
+        state_dir=tmp_path / "state",
+        workers=1,
+        isolation="inline",
+        allow_test_faults=True,
+        queue_size=8,
+        retry=RetryPolicy(max_retries=0, backoff_base_sec=0.01),
+    )
+    service = AnalysisService(config)
+    service.start()
+    httpd = AnalysisHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, service
+    httpd.shutdown()
+    httpd.server_close()
+    service.stop()
+
+
+def _get(base: str, path: str):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _post(base: str, path: str, document: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def test_analyze_miss_then_hit(server):
+    base, _service = server
+    source = generate(31).source
+    code, body, _ = _post(base, "/v1/analyze", {"program": source})
+    assert code == 200
+    assert body["cache"] == "miss"
+    assert body["result"]["confidence"] in ("exact", "partial")
+    code, body, _ = _post(base, "/v1/analyze", {"program": source})
+    assert code == 200
+    assert body["cache"] == "hit"
+
+
+def test_async_submit_then_poll(server):
+    base, _service = server
+    code, body, _ = _post(
+        base, "/v1/analyze",
+        {"program": generate(32).source, "wait": False},
+    )
+    assert code == 202
+    job_id = body["job"]
+    for _ in range(300):
+        code, body, _ = _get(base, f"/v1/jobs/{job_id}")
+        if code == 200:
+            break
+    assert code == 200
+    assert body["state"] == "done"
+    assert body["result"]["confidence"] in ("exact", "partial")
+
+
+def test_parse_error_is_400(server):
+    base, _service = server
+    code, body, _ = _post(base, "/v1/analyze", {"program": "((nope"})
+    assert code == 400
+    assert "parse error" in body["error"]
+
+
+def test_malformed_request_bodies_are_400(server):
+    base, _service = server
+    code, body, _ = _post(base, "/v1/analyze", {"not_program": 1})
+    assert code == 400
+    request = urllib.request.Request(
+        base + "/v1/analyze", data=b"{not json", method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+
+
+def test_unknown_routes_are_404(server):
+    base, _service = server
+    assert _get(base, "/nope")[0] == 404
+    assert _post(base, "/v1/nope", {})[0] == 404
+    assert _get(base, "/v1/jobs/doesnotexist")[0] == 404
+
+
+def test_health_ready_stats(server):
+    base, service = server
+    assert _get(base, "/healthz")[0] == 200
+    assert _get(base, "/readyz")[0] == 200
+    code, stats, _ = _get(base, "/stats")
+    assert code == 200
+    assert "queue_depth" in stats and "cache" in stats
+    service.begin_drain()
+    code, body, _ = _get(base, "/readyz")
+    assert code == 503
+    assert body["status"] == "draining"
+    # healthz stays green while draining: the process is still alive
+    assert _get(base, "/healthz")[0] == 200
+
+
+def test_draining_submissions_are_503(server):
+    base, service = server
+    service.begin_drain()
+    code, body, headers = _post(base, "/v1/analyze", {"program": generate(33).source})
+    assert code == 503
+    assert "Retry-After" in headers
+
+
+def test_queue_full_is_429_with_retry_after(tmp_path):
+    config = ServiceConfig(
+        state_dir=tmp_path / "state",
+        workers=1,
+        isolation="inline",
+        allow_test_faults=True,
+        queue_size=1,
+    )
+    service = AnalysisService(config)
+    service.start()
+    httpd = AnalysisHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        _post(base, "/v1/analyze", {
+            "program": generate(34).source,
+            "test_fault": {"kind": "sleep", "sec": 0.5},
+            "wait": False,
+        })
+        shed = 0
+        for seed in range(35, 41):
+            code, body, headers = _post(
+                base, "/v1/analyze",
+                {"program": generate(seed).source, "wait": False},
+            )
+            if code == 429:
+                shed += 1
+                assert "Retry-After" in headers
+                assert body["error"] == "overloaded"
+        assert shed >= 1
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+
+
+def test_batch_endpoint(server):
+    base, _service = server
+    source_a, source_b = generate(42).source, generate(43).source
+    _post(base, "/v1/analyze", {"program": source_a})
+    code, body, _ = _post(base, "/v1/batch", {"programs": [source_a, source_b]})
+    assert code == 200
+    caches = [item.get("cache") for item in body["results"]]
+    assert caches == ["hit", "miss"]
+    code, body, _ = _post(base, "/v1/batch", {"programs": []})
+    assert code == 400

@@ -1,0 +1,88 @@
+"""The crash-safe job journal: durability, torn-line tolerance,
+fold/recovery semantics, and compaction."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.journal import JobJournal
+
+
+def _accept(journal, job_id, program="x = 1"):
+    journal.append(
+        {"event": "accepted", "job": job_id, "kind": "analyze",
+         "request": {"program": program}}
+    )
+
+
+def test_append_then_load_roundtrip(tmp_path):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    _accept(journal, "a")
+    journal.append({"event": "done", "job": "a", "result": {"ok": True}})
+    records = journal.load()
+    assert [r["event"] for r in records] == ["accepted", "done"]
+
+
+def test_torn_trailing_line_is_dropped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    _accept(journal, "a")
+    journal.append({"event": "done", "job": "a", "result": None})
+    journal.close()
+    # simulate a crash mid-append: a half-written trailing record
+    with open(path, "a") as handle:
+        handle.write('{"event": "accepted", "job": "b", "requ')
+    records = JobJournal(path).load()
+    assert [r["job"] for r in records] == ["a", "a"]
+
+
+def test_fold_separates_pending_from_done(tmp_path):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    _accept(journal, "finished")
+    _accept(journal, "inflight")
+    journal.append({"event": "started", "job": "inflight", "attempt": 0})
+    journal.append({"event": "done", "job": "finished", "result": {"ok": True}})
+    pending, done = journal.fold()
+    assert set(pending) == {"inflight"}
+    assert set(done) == {"finished"}
+    assert pending["inflight"]["request"]["program"] == "x = 1"
+
+
+def test_compact_keeps_only_the_live_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    for index in range(5):
+        job_id = f"job{index}"
+        _accept(journal, job_id)
+        journal.append({"event": "started", "job": job_id, "attempt": 0})
+        journal.append({"event": "retry", "job": job_id, "attempt": 0, "error": "x"})
+        journal.append({"event": "done", "job": job_id, "result": {}})
+    _accept(journal, "pending")
+    kept = journal.compact()
+    # 5 done records + 1 pending accepted; started/retry noise dropped
+    assert kept == 6
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 6
+    events = [json.loads(line)["event"] for line in lines]
+    assert events.count("done") == 5
+    assert events.count("accepted") == 1
+    # folding the compacted journal gives the same recovery picture
+    pending, done = JobJournal(path).fold()
+    assert set(pending) == {"pending"}
+    assert len(done) == 5
+
+
+def test_missing_journal_loads_empty(tmp_path):
+    journal = JobJournal(tmp_path / "nope.jsonl")
+    assert journal.load() == []
+    assert journal.fold() == ({}, {})
+
+
+def test_append_after_compact(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    _accept(journal, "a")
+    journal.compact()
+    _accept(journal, "b")
+    pending, _done = journal.fold()
+    assert set(pending) == {"a", "b"}
