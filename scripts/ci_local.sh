@@ -8,6 +8,10 @@
 #                  interpreter stands in for the 3.9-3.12 matrix)
 #   chaos       -> the fault-injection suite at a fixed seed (CHAOS_SEED,
 #                  default 1337, printed so failures reproduce exactly)
+#   fault-smoke -> the fault-plane test suite plus the seeded invariant
+#                  sweep (`repro faults --require-coverage`); failures
+#                  print a `--replay BASE:CASE` command that reproduces
+#                  the exact fault schedule
 #   resume-smoke-> interrupt an analysis (deadline / step budget) with
 #                  checkpointing on, `repro resume` it, and diff the output
 #                  against an uninterrupted run (must be byte-identical)
@@ -64,6 +68,26 @@ echo "(chaos seed: CHAOS_SEED=${CHAOS_SEED}; reproduce failures with" \
   "CHAOS_SEED=${CHAOS_SEED} pytest tests/core/test_chaos.py -m chaos)"
 step "chaos: fault-injection suite" \
   python -m pytest tests/core/test_chaos.py -m chaos -q
+FAULT_SEED="${FAULT_SEED:-1337}"
+export FAULT_SEED
+step "fault-smoke: fault-plane unit and hardening suite" \
+  python -m pytest tests/faults -q
+step "fault-smoke: seeded invariant sweep (coverage-gated)" bash -c '
+  python -m repro faults --seed "${FAULT_SEED}" --cases 30 \
+      --require-coverage --report fault-smoke.jsonl
+  status=$?
+  if [ "$status" -ne 0 ] && [ -f fault-smoke.jsonl ]; then
+    echo "replay failed cases with:"
+    python -c "
+import json
+for line in open(\"fault-smoke.jsonl\"):
+    doc = json.loads(line)
+    if doc.get(\"ok\") is False:
+        print(\"  python -m repro faults --replay\", doc[\"label\"])
+"
+  fi
+  rm -f fault-smoke.jsonl
+  exit "$status"'
 step "resume-smoke: deadline-tripped constants run" bash -c '
   rm -rf .ci-ckpt && mkdir -p .ci-ckpt &&
   python -m repro pingpong --constants > .ci-ckpt/clean.txt &&

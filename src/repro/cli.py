@@ -695,6 +695,127 @@ def serve_main(argv) -> int:
     return 0
 
 
+def build_faults_parser() -> argparse.ArgumentParser:
+    from repro.faults.plane import CATALOG
+
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Soundness-under-fault invariant sweep: run seeded "
+                    "fault schedules against the full pipeline (service, "
+                    "sharded engine, HTTP) and machine-check that every "
+                    "answer stays exact-or-accounted, sound, replayable, "
+                    "and cache-clean. Any violation fails the sweep and "
+                    "prints the REPRO_FAULT_SEED that replays it.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1337, metavar="N",
+        help="base seed the per-case fault schedules derive from",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=2 * len(CATALOG), metavar="N",
+        help=f"number of schedules to run (catalog has {len(CATALOG)} "
+             "points; a full multiple rotates through every one)",
+    )
+    parser.add_argument(
+        "--replay", metavar="BASE:CASE", default=None,
+        help="re-run exactly one failing case from its printed "
+             "REPRO_FAULT_SEED label (e.g. --replay 1337:5)",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write per-case verdicts + merged coverage as JSONL",
+    )
+    parser.add_argument(
+        "--require-coverage", action="store_true",
+        help="also fail if any catalog point never fired across the sweep",
+    )
+    parser.add_argument(
+        "--state-root", metavar="DIR", default=None,
+        help="directory for per-case service state (default: a temp dir)",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def faults_main(argv) -> int:
+    import tempfile
+
+    from repro.faults import invariants
+    from repro.faults.plane import CATALOG
+
+    args = build_faults_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
+
+    if args.replay:
+        base_text, _, case_text = args.replay.partition(":")
+        try:
+            base_seed, case_index = int(base_text), int(case_text or "0")
+        except ValueError:
+            print(f"error: --replay wants BASE:CASE, got {args.replay!r}")
+            return 2
+        cases = [case_index]
+    else:
+        base_seed, cases = args.seed, list(range(args.cases))
+
+    if args.state_root:
+        state_root = Path(args.state_root)
+        state_root.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-faults-")
+        state_root = Path(cleanup.name)
+
+    print(
+        f"fault sweep: {len(cases)} case(s), base seed {base_seed}, "
+        f"{len(CATALOG)} catalog points"
+    )
+    report = invariants.SweepReport(base_seed=base_seed)
+    try:
+        for case_index in cases:
+            result = invariants.run_case(base_seed, case_index, state_root)
+            report.cases.append(result)
+            fired = sorted(result.coverage and {
+                name for name, cell in result.coverage.items() if cell["fired"]
+            } or ())
+            marker = "ok  " if result.ok else "FAIL"
+            print(
+                f"  {marker} case {result.case:3d} focus={result.focus:24s} "
+                f"channel={result.channel:7s} fired={','.join(fired) or '-'}"
+            )
+            for violation in result.violations:
+                print(f"       {violation}")
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    summary = report.summary()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            for case_result in report.cases:
+                handle.write(json.dumps(case_result.to_json()) + "\n")
+            handle.write(json.dumps({"summary": summary}) + "\n")
+        print(f"report: {args.report}")
+
+    failures = report.failures
+    unexercised = report.unexercised()
+    print(
+        f"{len(report.cases)} case(s): {len(report.cases) - len(failures)} ok, "
+        f"{len(failures)} failed; "
+        f"{len(CATALOG) - len(unexercised)}/{len(CATALOG)} fault points fired"
+    )
+    if unexercised:
+        print(f"never fired: {', '.join(unexercised)}")
+    for case_result in failures:
+        print(f"replay with: REPRO_FAULT_SEED={case_result.label}")
+    if failures:
+        return 1
+    if args.require_coverage and unexercised and not args.replay:
+        print("error: --require-coverage set and some points never fired")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Top-level entry point: GiveUp-family failures exit nonzero with a
     one-line message, never a traceback."""
@@ -720,6 +841,8 @@ def _main(argv=None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
     if argv and argv[0] == "resume":
         # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
         return _main(list(argv[1:]) + ["--resume"])

@@ -39,6 +39,7 @@ snapshot can never crash or taint an analysis.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -51,6 +52,7 @@ from repro.core import diagnostics
 from repro.core.diagnostics import Diagnostic
 from repro.core.pcfg import ExploredPCFG, PCFGEdge
 from repro.core.topology import MatchRecord, StaticTopology
+from repro.faults import plane as faults
 from repro.obs import provenance
 from repro.obs import recorder as obs
 
@@ -394,7 +396,7 @@ def restore_run(snapshot: Snapshot, engine) -> RestoredRun:
 # -- the on-disk checkpointer -------------------------------------------------
 
 
-def atomic_write_text(path, text: str, fsync: bool = True) -> None:
+def atomic_write_text(path, text: str, fsync: bool = True, fault_scope: str = "disk") -> None:
     """Durable atomic file replacement: write-fsync-rename-fsync(dir).
 
     The temp file is created *next to* the target (same directory, hence
@@ -405,21 +407,60 @@ def atomic_write_text(path, text: str, fsync: bool = True) -> None:
     after it, so a power loss leaves either the old file or the complete
     new one, never a torn write that merely *looks* renamed.  Raises
     ``OSError`` — callers that must not crash wrap this (see
-    :meth:`Checkpointer.write`).
+    :meth:`Checkpointer.write`).  On *any* failure the temp file is
+    removed: an ENOSPC/EIO abort never strands an orphan next to the
+    target, and the target keeps its previous content.
+
+    ``fault_scope`` names the trust boundary for the fault plane
+    (:mod:`repro.faults.plane`): the checkpointer writes under ``ckpt``,
+    the result cache under ``cache``, the journal compactor under
+    ``journal``, so one instrumented site covers every durable write in
+    the system.
     """
     path = Path(path)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    enospc = faults.check(f"{fault_scope}.write.enospc")
+    eio = faults.check(f"{fault_scope}.write.eio")
+    torn = faults.check(f"{fault_scope}.write.torn")
+    crash = faults.check(f"{fault_scope}.write.crash")
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
+            if enospc is not None:
+                handle.write(text[: len(text) // 2])
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected fault {fault_scope}.write.enospc: no space left on device",
+                )
+            if torn is not None:
+                # a crash mid-write: partial bytes in the temp file, no
+                # rename — the target must keep its old content
+                handle.write(text[: max(1, int(len(text) * torn.arg))])
+                handle.flush()
+                raise OSError(
+                    errno.EIO,
+                    f"injected fault {fault_scope}.write.torn: crashed mid-write",
+                )
             handle.write(text)
             if fsync:
                 handle.flush()
+                if eio is not None:
+                    raise OSError(
+                        errno.EIO,
+                        f"injected fault {fault_scope}.write.eio: fsync failed",
+                    )
                 os.fsync(handle.fileno())
+        if crash is not None:
+            # crashed after the bytes were durable but before the rename:
+            # the new content is lost, the old file survives intact
+            raise OSError(
+                errno.EIO,
+                f"injected fault {fault_scope}.write.crash: "
+                "crashed after fsync, before rename",
+            )
         os.replace(tmp, path)
     finally:
         try:
-            if tmp.exists():
-                os.unlink(tmp)
+            os.unlink(tmp)
         except OSError:
             pass
     if fsync:
@@ -467,7 +508,7 @@ class Checkpointer:
         text = snapshot.to_json()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(self.path, text)
+            atomic_write_text(self.path, text, fault_scope="ckpt")
         except OSError as exc:
             obs.incr("engine.ckpt.io_errors")
             raise SnapshotError(

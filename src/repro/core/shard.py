@@ -76,6 +76,7 @@ from repro.core.engine import (
 )
 from repro.core.pcfg import PCFGEdge, PCFGNodeKey
 from repro.core.topology import StaticTopology
+from repro.faults import plane as faults
 from repro.lang.cfg import CFG
 from repro.obs import provenance, slog
 from repro.obs import recorder as obs
@@ -136,7 +137,7 @@ class _ShardWorker(PCFGEngine):
     serial worklist loop."""
 
     def run_shard(self, task: dict) -> dict:
-        if os.environ.get(KILL_ENV) == str(task["shard"]):
+        if task.get("kill") or os.environ.get(KILL_ENV) == str(task["shard"]):
             os.kill(os.getpid(), signal.SIGKILL)
         if task["capture"]:
             with obs.recording() as recorder:
@@ -413,6 +414,11 @@ class ShardedEngine(PCFGEngine):
                     self._drain_inline(result, states, visits, dirty, deadline)
                     dirty = set()
                     break
+                if tasks and faults.check("shard.worker.kill") is not None:
+                    # parent-side decision (coverage accounting stays in
+                    # one process); the worker SIGKILLs itself on pickup,
+                    # exercising the BrokenProcessPool containment path
+                    tasks[0]["kill"] = True
                 futures = {
                     pool.submit(_worker_run, task): task["shard"]
                     for task in tasks
@@ -430,9 +436,24 @@ class ShardedEngine(PCFGEngine):
                         self._note_fallback(
                             result, f"state shipping failed in a worker: {exc}"
                         )
-                dirty = self._merge_round(result, states, visits, outcomes)
+                dirty, corrupt_shards = self._merge_round(
+                    result, states, visits, outcomes
+                )
+                if corrupt_shards:
+                    shipping_failed = True
+                    self._note_fallback(
+                        result,
+                        "boundary facts from shard(s) "
+                        f"{sorted(corrupt_shards)} undecodable",
+                    )
                 if lost or shipping_failed:
-                    merged = {out["shard"] for out in outcomes}
+                    # a shard whose facts did not merge cleanly cannot be
+                    # trusted as converged: silently dropping one boundary
+                    # fact could freeze an early (unsound) fixpoint, so
+                    # its whole input re-drains through the serial path
+                    merged = {
+                        out["shard"] for out in outcomes
+                    } - corrupt_shards
                     dropped = {
                         key
                         for shard, keys in by_shard.items()
@@ -511,23 +532,63 @@ class ShardedEngine(PCFGEngine):
 
     def _merge_round(
         self, result, states, visits, outcomes: List[dict]
-    ) -> Set[PCFGNodeKey]:
+    ) -> Tuple[Set[PCFGNodeKey], Set[int]]:
         """Fold worker results into the parent tables; returns the next
-        round's dirty set.  Merged in shard-id order so the outcome is
-        independent of worker completion order."""
+        round's dirty set plus the shards whose payloads failed to decode.
+        Merged in shard-id order so the outcome is independent of worker
+        completion order.
+
+        Decode failures are *contained*, never propagated: a shard whose
+        states or boundary facts arrive corrupt (damaged shared memory,
+        codec drift, injected) lands in the returned ``corrupt`` set and
+        the caller re-drains its whole input serially.  Validation runs
+        *before* any merge: once a shard's in-round states land in the
+        parent tables, re-draining its round inputs is a no-op ("nothing
+        changed") and an interior boundary fact the corruption destroyed
+        would never be regenerated — the fixpoint would freeze early,
+        silently missing matches.  Rejecting the whole outcome up front
+        keeps the pre-round states, so the serial re-drain redoes the
+        shard's work from scratch and re-emits every fact.
+        """
         dirty: Set[PCFGNodeKey] = set()
+        corrupt: Set[int] = set()
         outcomes = sorted(outcomes, key=lambda out: out["shard"])
+        # pass 0: decode + validate every payload before touching any
+        # parent table; a single bad fact poisons its whole outcome
+        inject = faults.check("shard.boundary.corrupt")
+        decoded: List[tuple] = []
+        for out in outcomes:
+            try:
+                final = [checkpoint_mod.decode(enc) for enc in out["final"]]
+                changed = [
+                    (key, checkpoint_mod.decode(enc))
+                    for key, enc in out["changed"]
+                ]
+                boundary = []
+                for key, enc, src_key, kind, detail in out["boundary"]:
+                    if inject is not None:
+                        enc = {"__t__": "__injected_corruption__"}
+                        inject = None  # damage exactly one fact per firing
+                    boundary.append(
+                        (key, checkpoint_mod.decode(enc), src_key, kind, detail)
+                    )
+            except checkpoint_mod.SnapshotError as exc:
+                obs.incr("engine.shard.corrupt_payloads")
+                slog.warning(
+                    "engine.shard_corrupt_payload",
+                    shard=out["shard"],
+                    error=str(exc),
+                )
+                corrupt.add(out["shard"])
+                continue
+            decoded.append((out, final, changed, boundary))
         # pass 1: in-shard results (a worker's state strictly refines the
         # state it was handed, so overwrite is the correct merge)
-        for out in outcomes:
+        for out, final, changed, _boundary in decoded:
             obs.merge_counters(out["counters"])
             result.steps += out["steps"]
             for record in out["records"]:
                 result.topology.add(record)
-            for enc in out["final"]:
-                result.final_states.append(
-                    self._interned(checkpoint_mod.decode(enc))
-                )
             result.vacuous_blocks.extend(out["vacuous"])
             for edge in out["edges"]:
                 result.explored.add_edge(edge)
@@ -538,8 +599,10 @@ class ShardedEngine(PCFGEngine):
                 result.gave_up = True
                 if not result.give_up_reason:
                     result.give_up_reason = out["reason"]
-            for key, enc in out["changed"]:
-                states[key] = self._interned(checkpoint_mod.decode(enc))
+            for state in final:
+                result.final_states.append(self._interned(state))
+            for key, state in changed:
+                states[key] = self._interned(state)
             for key, count in out["visits"].items():
                 if count > visits.get(key, 0):
                     visits[key] = count
@@ -547,9 +610,8 @@ class ShardedEngine(PCFGEngine):
         # pass 2: boundary facts — only after *all* in-shard overwrites, so
         # a fact joining into a shard another worker just advanced merges
         # with the fresh state, not the stale one
-        for out in outcomes:
-            for key, enc, src_key, kind, detail in out["boundary"]:
-                state = checkpoint_mod.decode(enc)
+        for out, _final, _changed, boundary in decoded:
+            for key, state, src_key, kind, detail in boundary:
                 result.explored.add_edge(PCFGEdge(src_key, key, kind, detail))
                 try:
                     with obs.span("engine.shard.reconcile"):
@@ -562,7 +624,7 @@ class ShardedEngine(PCFGEngine):
                     continue
                 if changed is not None:
                     dirty.add(changed)
-        return dirty
+        return dirty, corrupt
 
     def _parent_budget_check(
         self, result, states, deadline

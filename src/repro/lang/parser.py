@@ -48,7 +48,17 @@ from repro.lang.ast import (
     Var,
     While,
 )
-from repro.lang.lexer import Token, tokenize
+from repro.lang.lexer import LexError, Token, tokenize
+
+#: untrusted-input ceilings (the analysis service parses attacker-supplied
+#: source at admission; these turn resource-exhaustion inputs into clean
+#: ParseErrors instead of RecursionError/MemoryError deep in a worker)
+MAX_SOURCE_BYTES = 2 * 1024 * 1024
+#: combined statement + expression nesting ceiling.  Kept well under
+#: Python's default recursion limit: each level costs ~9 interpreter
+#: frames through the precedence-climbing chain, so 75 levels stays
+#: safely clear of a 1000-frame stack even inside a worker thread.
+MAX_NESTING_DEPTH = 75
 
 
 class ParseError(ValueError):
@@ -59,6 +69,17 @@ class _Parser:
     def __init__(self, tokens: List[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._depth = 0
+
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING_DEPTH:
+            raise ParseError(
+                f"program nesting exceeds {MAX_NESTING_DEPTH} levels"
+            )
+
+    def _exit(self) -> None:
+        self._depth -= 1
 
     # -- token plumbing ----------------------------------------------------
 
@@ -116,23 +137,29 @@ class _Parser:
     def _parse_stmt(self) -> Stmt:
         token = self._peek()
         assert token is not None
-        if token.kind == "KEYWORD":
-            handler = {
-                "skip": self._parse_skip,
-                "if": self._parse_if,
-                "while": self._parse_while,
-                "for": self._parse_for,
-                "send": self._parse_send,
-                "receive": self._parse_recv,
-                "print": self._parse_print,
-                "assert": self._parse_assert,
-            }.get(token.text)
-            if handler is None:
-                raise ParseError(f"line {token.line}: unexpected keyword {token.text!r}")
-            return handler()
-        if token.kind == "NAME":
-            return self._parse_assign()
-        raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+        self._enter()
+        try:
+            if token.kind == "KEYWORD":
+                handler = {
+                    "skip": self._parse_skip,
+                    "if": self._parse_if,
+                    "while": self._parse_while,
+                    "for": self._parse_for,
+                    "send": self._parse_send,
+                    "receive": self._parse_recv,
+                    "print": self._parse_print,
+                    "assert": self._parse_assert,
+                }.get(token.text)
+                if handler is None:
+                    raise ParseError(
+                        f"line {token.line}: unexpected keyword {token.text!r}"
+                    )
+                return handler()
+            if token.kind == "NAME":
+                return self._parse_assign()
+            raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+        finally:
+            self._exit()
 
     def _parse_skip(self) -> Stmt:
         self._expect("KEYWORD", "skip")
@@ -236,7 +263,11 @@ class _Parser:
     # -- expressions (precedence climbing) ----------------------------------
 
     def _parse_expr(self) -> Expr:
-        return self._parse_or()
+        self._enter()
+        try:
+            return self._parse_or()
+        finally:
+            self._exit()
 
     def _parse_or(self) -> Expr:
         left = self._parse_and()
@@ -255,7 +286,11 @@ class _Parser:
     def _parse_not(self) -> Expr:
         if self._at("KEYWORD", "not"):
             self._advance()
-            return UnaryOp("not", self._parse_not())
+            self._enter()
+            try:
+                return UnaryOp("not", self._parse_not())
+            finally:
+                self._exit()
         return self._parse_cmp()
 
     def _parse_cmp(self) -> Expr:
@@ -290,7 +325,11 @@ class _Parser:
     def _parse_unary(self) -> Expr:
         if self._at("OP", "-"):
             self._advance()
-            operand = self._parse_unary()
+            self._enter()
+            try:
+                operand = self._parse_unary()
+            finally:
+                self._exit()
             if isinstance(operand, Num):
                 return Num(-operand.value)
             return UnaryOp("-", operand)
@@ -320,8 +359,28 @@ class _Parser:
 
 
 def parse(source: str) -> Program:
-    """Parse MPL source text into a :class:`~repro.lang.ast.Program`."""
-    return _Parser(tokenize(source)).parse_program(source)
+    """Parse MPL source text into a :class:`~repro.lang.ast.Program`.
+
+    Total over untrusted input: every malformed-source failure mode —
+    lexer errors included — surfaces as :class:`ParseError` (callers like
+    the analysis service map that to a structured 400), and oversized or
+    pathologically nested sources are rejected by explicit ceilings
+    before they can exhaust the stack or the heap.
+    """
+    if len(source) > MAX_SOURCE_BYTES:
+        raise ParseError(
+            f"program too large: {len(source)} bytes > {MAX_SOURCE_BYTES}"
+        )
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    try:
+        return _Parser(tokens).parse_program(source)
+    except RecursionError:  # belt over the explicit depth guard
+        raise ParseError(
+            f"program nesting exceeds {MAX_NESTING_DEPTH} levels"
+        ) from None
 
 
 def parse_expr(source: str) -> Expr:

@@ -45,10 +45,26 @@ from repro import __version__
 from repro.core import diagnostics
 from repro.core.checkpoint import Snapshot, atomic_write_text
 from repro.core.engine import EngineLimits
+from repro.faults import plane as faults
 from repro.obs import recorder as obs
+from repro.obs import slog
 
 #: cache entry format version; bump on any incompatible schema change
-ENTRY_FORMAT = "repro-serve-cache/1"
+#: (v2: per-entry integrity checksum — bit-flipped entries must miss)
+ENTRY_FORMAT = "repro-serve-cache/2"
+
+
+def entry_checksum(entry: Dict[str, object]) -> str:
+    """Integrity digest over an entry's canonical JSON (checksum field
+    excluded).  The atomic write-rename protects against *torn* entries;
+    this protects against the disk handing back *wrong bytes* — a
+    bit-flip that still parses as JSON must miss, not serve garbage."""
+    body = json.dumps(
+        {k: v for k, v in entry.items() if k != "checksum"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def canonical_limits(limits: EngineLimits) -> Dict[str, object]:
@@ -136,21 +152,60 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _read_entry(self, path: Path) -> Optional[dict]:
+        """Read + verify one on-disk entry; evict it if it is corrupt.
+
+        Verification layers: valid JSON, a dict, our format version, and
+        the integrity checksum.  Unparseable bytes or a checksum mismatch
+        mean the file is damaged (bit rot, truncation, external edit) —
+        the entry is *deleted* (``serve.cache.corrupt_evictions``) so the
+        damage cannot be re-served or re-indexed.  A well-formed entry of
+        a *different* format version is merely skipped: it belongs to
+        another build, not to the trash.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            obs.incr("serve.cache.read_errors")
+            return None
+        fault = faults.check("cache.read.corrupt")
+        if fault is not None:
+            raw = faults.corrupt_bytes(raw, fault.arg)
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._evict_corrupt(path, "undecodable")
+            return None
+        if not isinstance(entry, dict):
+            self._evict_corrupt(path, "not an object")
+            return None
+        if entry.get("format") != ENTRY_FORMAT:
+            obs.incr("serve.cache.index_skipped")
+            return None
+        if entry.get("checksum") != entry_checksum(entry):
+            self._evict_corrupt(path, "checksum mismatch")
+            return None
+        return entry
+
+    def _evict_corrupt(self, path: Path, why: str) -> None:
+        obs.incr("serve.cache.corrupt_evictions")
+        slog.warning("serve.cache_corrupt_entry", path=str(path), reason=why)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def _load_index(self) -> None:
         """Rebuild the in-memory index from the entry files on disk.
 
-        Unreadable or malformed files are skipped (counted), never fatal:
-        a half-written entry cannot exist (atomic rename), but a truncated
-        disk can still hand us garbage and the cache must shrug it off.
+        Unreadable, malformed, or corrupt files are skipped or evicted
+        (counted), never fatal: a half-written entry cannot exist (atomic
+        rename), but a damaged disk can still hand us garbage and the
+        cache must shrug it off.
         """
         for path in sorted(self.directory.glob("*.json")):
-            try:
-                entry = json.loads(path.read_text())
-            except (OSError, ValueError):
-                obs.incr("serve.cache.index_skipped")
-                continue
-            if not isinstance(entry, dict) or entry.get("format") != ENTRY_FORMAT:
-                obs.incr("serve.cache.index_skipped")
+            entry = self._read_entry(path)
+            if entry is None:
                 continue
             key = entry.get("key") or path.stem
             self._remember(key, entry)
@@ -183,12 +238,8 @@ class ResultCache:
                 return entry
         path = self._path(key)
         if path.exists():
-            try:
-                entry = json.loads(path.read_text())
-            except (OSError, ValueError):
-                obs.incr("serve.cache.read_errors")
-                return None
-            if isinstance(entry, dict) and entry.get("format") == ENTRY_FORMAT:
+            entry = self._read_entry(path)
+            if entry is not None:
                 with self._lock:
                     self._remember(key, entry)
                 obs.incr("serve.cache.hits")
@@ -216,10 +267,12 @@ class ResultCache:
             "snapshot": snapshot_payload,
             "created": time.time(),
         }
+        entry["checksum"] = entry_checksum(entry)
         try:
             atomic_write_text(
                 self._path(key),
                 json.dumps(entry, sort_keys=True),
+                fault_scope="cache",
             )
         except OSError:
             # a cache that cannot persist still serves from memory

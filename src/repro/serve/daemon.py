@@ -64,6 +64,7 @@ from repro.core.driver import (
     default_ladder,
 )
 from repro.core.engine import EngineLimits
+from repro.faults import plane as faults
 from repro.lang import parse
 from repro.lang.cfg import build_cfg
 from repro.lang.parser import ParseError
@@ -481,6 +482,8 @@ class AnalysisService:
                 }
             )
             try:
+                if faults.check("daemon.queue.overflow") is not None:
+                    raise queue.Full
                 self.queue.put_nowait(job)
             except queue.Full:
                 # shed *after* journaling would strand the record; mark it
@@ -597,12 +600,24 @@ class AnalysisService:
         job.state = "running"
         self.journal.append({"event": "started", "job": job.id, "attempt": job.attempts})
         ladder_kind, degraded = self._ladder_plan(job)
+        exec_limits = job.limits
+        pressure = faults.check("daemon.clock.pressure")
+        if pressure is not None:
+            # the wall clock collapsed under us (NTP step, noisy neighbor,
+            # injected): run under a near-zero deadline.  The cache key was
+            # computed from the *admitted* limits, so the squeezed answer
+            # must be marked degraded — degraded results are never cached,
+            # which keeps the key ↔ budget contract intact.
+            squeezed = min(exec_limits.deadline_sec or 0.05, 0.05)
+            exec_limits = replace(exec_limits, deadline_sec=squeezed)
+            degraded = degraded or "clock-pressure"
+            obs.incr("serve.degraded.clock_pressure")
         warm = self.cache.warm_snapshot(job.cfg_fp, "CartesianClient")
         attempt = 0
         while True:
             try:
                 rendered, snapshot_payload = self._execute_attempt(
-                    job, ladder_kind, warm
+                    job, ladder_kind, warm, exec_limits
                 )
                 break
             except TransientJobError as exc:
@@ -625,6 +640,9 @@ class AnalysisService:
                 job.attempts = attempt
         if degraded:
             rendered["degraded"] = degraded
+            rendered.setdefault("service_diagnostics", []).append(
+                f"DEGRADED: {degraded}"
+            )
         self._record_breaker(rendered)
         clean = not degraded
         if clean:
@@ -635,13 +653,22 @@ class AnalysisService:
         self._finish(job, rendered)
 
     def _execute_attempt(
-        self, job: Job, ladder_kind: str, warm: Optional[Snapshot]
+        self,
+        job: Job,
+        ladder_kind: str,
+        warm: Optional[Snapshot],
+        limits: Optional[EngineLimits] = None,
     ) -> Tuple[dict, Optional[dict]]:
         """One attempt, isolated per config.  Raises TransientJobError on
         worker loss or watchdog timeout."""
         request = job.request
-        limits = job.limits
+        limits = limits if limits is not None else job.limits
         fault = request.test_fault if self.config.allow_test_faults else None
+        if faults.check("daemon.worker.kill") is not None:
+            # decided parent-side so the plane's coverage accounting stays
+            # in one process; in process isolation the child honors the
+            # same crash directive the SIGKILL crash suite uses
+            fault = {"kind": "crash"}
         if self.config.isolation == "inline":
             return self._execute_inline(request, limits, ladder_kind, warm, fault)
         timeout = self._attempt_timeout(limits, ladder_kind)

@@ -46,12 +46,24 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.core.checkpoint import atomic_write_text
+from repro.faults import plane as faults
+from repro.obs import recorder as obs
 from repro.obs import slog
 from repro.serve.daemon import AnalysisService, AnalyzeRequest, ServiceConfig
 
 #: request bodies above this are rejected outright (413) — an admission
 #: control of its own: a 100 MB "program" is a client bug or an attack
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: ceiling on the synchronous wait a request may ask for — an unbounded
+#: ``wait_timeout_sec`` would let one client pin a handler thread forever
+MAX_WAIT_SEC = 600.0
+
+#: how much of an oversized body the server is willing to swallow so the
+#: 413 actually reaches the client (responding without reading leaves
+#: the client mid-upload against a dead socket: it sees EPIPE, not our
+#: status).  Bodies beyond this get the 413 + an immediate close.
+DRAIN_CEILING_BYTES = 64 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -76,9 +88,17 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, str(value))
         self.end_headers()
         try:
+            if faults.check("http.client.disconnect") is not None:
+                raise BrokenPipeError(
+                    "injected fault http.client.disconnect: peer reset mid-response"
+                )
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
-            pass  # client hung up; the job (if any) still completes
+            # client hung up; the job (if any) still completes.  Close the
+            # socket so a half-sent response (headers promised a body we
+            # never delivered) cannot poison a keep-alive connection.
+            obs.incr("serve.http.client_disconnects")
+            self.close_connection = True
 
     def _read_body(self) -> Optional[dict]:
         try:
@@ -87,7 +107,24 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": "bad Content-Length"})
             return None
         if length > MAX_BODY_BYTES:
-            self._send_json(413, {"error": "request body too large"})
+            obs.incr("serve.http.body_too_large")
+            if length <= DRAIN_CEILING_BYTES:
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 64 * 1024))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            else:
+                self.close_connection = True
+            self._send_json(
+                413,
+                {
+                    "error": "request body too large",
+                    "limit_bytes": MAX_BODY_BYTES,
+                    "got_bytes": length,
+                },
+            )
             return None
         raw = self.rfile.read(length) if length else b""
         try:
@@ -201,9 +238,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _wait_budget(self, document: dict) -> float:
         try:
-            return float(document.get("wait_timeout_sec", 60.0))
+            requested = float(document.get("wait_timeout_sec", 60.0))
         except (TypeError, ValueError):
             return 60.0
+        return max(0.0, min(requested, MAX_WAIT_SEC))
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):

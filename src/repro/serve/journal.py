@@ -26,6 +26,7 @@ replay time for a long-lived daemon.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import threading
@@ -33,7 +34,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.checkpoint import atomic_write_text
+from repro.faults import plane as faults
 from repro.obs import recorder as obs
+from repro.obs import slog
 
 
 class JobJournal:
@@ -43,24 +46,82 @@ class JobJournal:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._handle = None
+        #: True when the last write left a partial line on disk; the next
+        #: append starts with a newline so records never merge
+        self._dirty_tail = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     # -- writing ---------------------------------------------------------------
 
-    def append(self, record: dict) -> None:
+    def _open_handle(self):
+        if self._handle is None:
+            # an existing file not ending in "\n" carries a torn tail from
+            # a previous writer's crash; start our first record on a fresh
+            # line so the torn bytes stay an isolated, droppable line
+            try:
+                with open(self.path, "rb") as probe:
+                    probe.seek(0, os.SEEK_END)
+                    if probe.tell() > 0:
+                        probe.seek(-1, os.SEEK_END)
+                        self._dirty_tail = probe.read(1) != b"\n"
+            except OSError:
+                pass
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: dict) -> bool:
         """Durably append one record (flush + fsync before returning).
 
         The fsync is the point of the journal: ``accepted`` must survive
         a SIGKILL that lands the instant after the client got its 202.
+
+        Never raises: a failed append (disk full, I/O error) degrades
+        *durability* — the record will not survive a crash — but must
+        not take down admission, which would turn a full disk into a
+        total outage.  Returns False and counts
+        ``serve.journal.append_errors`` on failure.
         """
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._lock:
-            if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+            try:
+                handle = self._open_handle()
+                prefix = "\n" if self._dirty_tail else ""
+                if faults.check("journal.append.enospc") is not None:
+                    raise OSError(
+                        errno.ENOSPC,
+                        "injected fault journal.append.enospc: no space left on device",
+                    )
+                torn = faults.check("journal.append.torn")
+                if torn is not None:
+                    # a crash mid-append: partial bytes on disk, no newline
+                    handle.write(prefix + line[: max(1, int(len(line) * torn.arg))])
+                    handle.flush()
+                    self._dirty_tail = True
+                    raise OSError(
+                        errno.EIO,
+                        "injected fault journal.append.torn: crashed mid-append",
+                    )
+                handle.write(prefix + line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._dirty_tail = False
+            except OSError as exc:
+                obs.incr("serve.journal.append_errors")
+                slog.warning(
+                    "serve.journal_append_failed",
+                    record_event=str(record.get("event", "")),
+                    error=str(exc),
+                )
+                # the handle's position/buffer state is suspect; reopen lazily
+                if self._handle is not None:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                    self._handle = None
+                return False
         obs.incr("serve.journal.appends")
+        return True
 
     def close(self) -> None:
         with self._lock:
@@ -74,9 +135,13 @@ class JobJournal:
         """All intact records, oldest first.
 
         A torn trailing line — the only damage a crash mid-append can
-        cause — is dropped (counted as ``serve.journal.torn``).  A torn
-        line anywhere *else* would mean external corruption; those are
-        dropped too, keeping recovery total.
+        cause — is *expected* wreckage: it is dropped with a WARNING
+        (``serve.journal_torn_tail``, counted as ``serve.journal.torn``)
+        and recovery proceeds with everything before it.  A torn line
+        anywhere else means external corruption; those are dropped too
+        (``serve.journal.corrupt_interior``), keeping recovery total —
+        a damaged journal degrades to fewer replayed records, never to
+        a daemon that cannot start.
         """
         if not self.path.exists():
             return []
@@ -86,14 +151,30 @@ class JobJournal:
         except OSError:
             obs.incr("serve.journal.read_errors")
             return []
-        for line in raw.splitlines():
-            line = line.strip()
+        lines = [line.strip() for line in raw.splitlines()]
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except ValueError:
-                obs.incr("serve.journal.torn")
+                if index == last_index:
+                    obs.incr("serve.journal.torn")
+                    slog.warning(
+                        "serve.journal_torn_tail",
+                        path=str(self.path),
+                        discarded_bytes=len(line),
+                        detail="partial final record from a mid-append crash; "
+                               "discarded, replaying the intact prefix",
+                    )
+                else:
+                    obs.incr("serve.journal.corrupt_interior")
+                    slog.warning(
+                        "serve.journal_corrupt_record",
+                        path=str(self.path),
+                        line=index + 1,
+                    )
                 continue
             if isinstance(record, dict):
                 records.append(record)
@@ -146,6 +227,14 @@ class JobJournal:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
-            atomic_write_text(self.path, text)
+            self._dirty_tail = False
+            try:
+                atomic_write_text(self.path, text, fault_scope="journal")
+            except OSError as exc:
+                # compaction is an optimization; the uncompacted journal
+                # is still a correct (if longer) record of the same work
+                obs.incr("serve.journal.compact_errors")
+                slog.warning("serve.journal_compact_failed", error=str(exc))
+                return -1
         obs.incr("serve.journal.compactions")
         return len(keep)

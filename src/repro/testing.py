@@ -16,6 +16,7 @@ def reset_state() -> None:
     """Reset every piece of cross-cutting global state to a clean slate."""
     from repro.cgraph.constraint_graph import clear_closure_caches
     from repro.cgraph.stats import reset_global_stats
+    from repro.faults import plane as fault_plane
     from repro.obs import provenance, slog
     from repro.obs import recorder as obs_recorder
 
@@ -23,6 +24,7 @@ def reset_state() -> None:
     clear_closure_caches()
     obs_recorder.reset()
     provenance.reset()
+    fault_plane.reset()
     slog.configure(None)
 
 

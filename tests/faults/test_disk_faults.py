@@ -1,0 +1,104 @@
+"""The atomic-write contract under injected disk failures.
+
+Whatever the disk does mid-write, the target file must keep either its
+old content or the complete new content, and no orphan temp file may
+survive next to it.  The Checkpointer layers one more promise on top:
+an unwritable checkpoint is a diagnostic, never an aborted run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import diagnostics
+from repro.core.checkpoint import Checkpointer, SnapshotError, atomic_write_text
+from repro.core.engine import EngineLimits, PCFGEngine
+from repro.faults import plane
+from repro.faults.plane import FaultSchedule, PlannedFault
+from repro.lang import build_cfg, programs
+
+
+WRITE_MODES = ["enospc", "eio", "torn", "crash"]
+
+
+def _schedule(point: str, **kwargs) -> FaultSchedule:
+    return FaultSchedule([PlannedFault(point, **kwargs)], label="test")
+
+
+@pytest.mark.parametrize("mode", WRITE_MODES)
+def test_atomic_write_keeps_old_content(tmp_path, mode):
+    target = tmp_path / "state.json"
+    target.write_text('{"old": true}')
+    with plane.engaged(_schedule(f"ckpt.write.{mode}")):
+        with pytest.raises(OSError):
+            atomic_write_text(target, '{"new": true}', fault_scope="ckpt")
+    assert json.loads(target.read_text()) == {"old": True}
+    assert list(tmp_path.glob("*.tmp*")) == [], "orphan temp file stranded"
+
+
+@pytest.mark.parametrize("mode", WRITE_MODES)
+def test_atomic_write_failure_leaves_no_file_when_target_was_absent(tmp_path, mode):
+    target = tmp_path / "fresh.json"
+    with plane.engaged(_schedule(f"ckpt.write.{mode}")):
+        with pytest.raises(OSError):
+            atomic_write_text(target, '{"new": true}', fault_scope="ckpt")
+    assert not target.exists()
+    assert list(tmp_path.glob("*.tmp*")) == []
+
+
+def test_atomic_write_succeeds_after_fault_window(tmp_path):
+    target = tmp_path / "state.json"
+    with plane.engaged(_schedule("ckpt.write.enospc", hit=1, count=1)):
+        with pytest.raises(OSError):
+            atomic_write_text(target, "first", fault_scope="ckpt")
+        atomic_write_text(target, "second", fault_scope="ckpt")
+    assert target.read_text() == "second"
+
+
+def test_scopes_are_independent(tmp_path):
+    # a fault planned for the cache scope must not bite the checkpointer
+    target = tmp_path / "state.json"
+    with plane.engaged(_schedule("cache.write.enospc")):
+        atomic_write_text(target, "ok", fault_scope="ckpt")
+    assert target.read_text() == "ok"
+
+
+def test_checkpointer_wraps_oserror_as_snapshot_error(tmp_path):
+    from repro.core.checkpoint import FORMAT, Snapshot
+
+    ckpt = Checkpointer(tmp_path, name="t")
+    snap = Snapshot(payload={"format": FORMAT, "cfg": "", "client": ""})
+    with plane.engaged(_schedule("ckpt.write.enospc")):
+        with pytest.raises(SnapshotError) as excinfo:
+            ckpt.write(snap)
+    assert excinfo.value.code == diagnostics.CHECKPOINT_IO
+
+
+def _client():
+    from repro.analyses.simple_symbolic import SimpleSymbolicClient
+
+    return SimpleSymbolicClient()
+
+
+def test_engine_run_survives_checkpoint_write_faults(tmp_path):
+    """Satellite: a failing checkpoint write degrades to a CHECKPOINT_IO
+    diagnostic; the analysis itself completes with its answer intact."""
+    cfg = build_cfg(programs.get("pingpong").parse())
+    clean = PCFGEngine(cfg, _client()).run()
+    schedule = FaultSchedule(
+        [PlannedFault("ckpt.write.enospc", hit=1, count=3)], label="test"
+    )
+    with plane.engaged(schedule):
+        faulted = PCFGEngine(
+            cfg,
+            _client(),
+            EngineLimits(),
+            checkpointer=Checkpointer(tmp_path, name="t", every_steps=1),
+        ).run()
+    assert faulted.matches == clean.matches
+    assert faulted.confidence == clean.confidence
+    codes = {diag.code for diag in faulted.diagnostics}
+    assert diagnostics.CHECKPOINT_IO in codes
+    assert list(tmp_path.glob("*.tmp*")) == []

@@ -1,0 +1,104 @@
+"""Journal durability degradation: append never raises, torn tails heal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults import plane
+from repro.faults.plane import FaultSchedule, PlannedFault
+from repro.obs import recorder as obs
+from repro.serve.journal import JobJournal
+
+
+def _schedule(point: str, **kwargs) -> FaultSchedule:
+    return FaultSchedule([PlannedFault(point, **kwargs)], label="test")
+
+
+def test_append_enospc_returns_false_never_raises(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    with obs.recording():
+        with plane.engaged(_schedule("journal.append.enospc")):
+            assert journal.append({"event": "accepted", "job": "a"}) is False
+            # the plan fired once; the next append succeeds
+            assert journal.append({"event": "accepted", "job": "b"}) is True
+        counters = obs.active_recorder().counters
+    assert counters["serve.journal.append_errors"] == 1
+    pending, _ = journal.fold()
+    assert set(pending) == {"b"}
+
+
+def test_torn_append_is_dropped_on_load_with_warning(tmp_path, capsys):
+    """Satellite: recovery tolerates a truncated final line — WARNING +
+    counter, replay proceeds with the intact prefix."""
+    from repro.obs import slog
+
+    journal = JobJournal(tmp_path / "j.jsonl")
+    slog.configure("warning")
+    try:
+        with obs.recording():
+            journal.append({"event": "accepted", "job": "a"})
+            with plane.engaged(_schedule("journal.append.torn")):
+                assert journal.append({"event": "accepted", "job": "b"}) is False
+            journal.close()
+            records = JobJournal(tmp_path / "j.jsonl").load()
+            counters = dict(obs.active_recorder().counters)
+    finally:
+        slog.configure(None)
+    assert [r["job"] for r in records] == ["a"]
+    assert counters["serve.journal.torn"] == 1
+    logged = [
+        json.loads(line) for line in capsys.readouterr().err.splitlines() if line
+    ]
+    assert any(e.get("event") == "serve.journal_torn_tail" for e in logged)
+
+
+def test_dirty_tail_heals_on_next_append(tmp_path):
+    """A torn line must stay an isolated droppable line: the next append
+    starts on a fresh line instead of merging into the torn bytes."""
+    journal = JobJournal(tmp_path / "j.jsonl")
+    with plane.engaged(_schedule("journal.append.torn")):
+        journal.append({"event": "accepted", "job": "torn-one"})
+    assert journal.append({"event": "accepted", "job": "whole"}) is True
+    journal.close()
+    pending, _ = JobJournal(tmp_path / "j.jsonl").fold()
+    assert set(pending) == {"whole"}
+
+
+def test_dirty_tail_detected_across_reopen(tmp_path):
+    """The tail probe works from raw bytes, so a *new* journal object
+    (a restarted daemon) also refuses to merge into a torn line."""
+    path = tmp_path / "j.jsonl"
+    first = JobJournal(path)
+    with plane.engaged(_schedule("journal.append.torn")):
+        first.append({"event": "accepted", "job": "torn-one"})
+    first.close()
+    second = JobJournal(path)
+    assert second.append({"event": "accepted", "job": "after-restart"}) is True
+    second.close()
+    pending, _ = JobJournal(path).fold()
+    assert set(pending) == {"after-restart"}
+
+
+def test_interior_corruption_counted_separately(tmp_path):
+    path = tmp_path / "j.jsonl"
+    good = json.dumps({"event": "accepted", "job": "a"})
+    path.write_text(f"{good}\nGARBAGE NOT JSON\n{good.replace('a', 'b')}\n")
+    with obs.recording():
+        records = JobJournal(path).load()
+        counters = dict(obs.active_recorder().counters)
+    assert [r["job"] for r in records] == ["a", "b"]
+    assert counters["serve.journal.corrupt_interior"] == 1
+    assert "serve.journal.torn" not in counters
+
+
+def test_compact_failure_returns_sentinel_keeps_journal(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    journal.append({"event": "accepted", "job": "a"})
+    before = (tmp_path / "j.jsonl").read_text()
+    with obs.recording():
+        with plane.engaged(_schedule("journal.write.enospc")):
+            kept = journal.compact()
+        counters = dict(obs.active_recorder().counters)
+    assert kept == -1
+    assert counters["serve.journal.compact_errors"] == 1
+    assert (tmp_path / "j.jsonl").read_text() == before

@@ -1,0 +1,98 @@
+"""Shard-layer fault containment through the plane.
+
+The sharded engine's equivalence gate must hold under injected faults:
+a corrupted boundary fact or a SIGKILLed worker degrades the run — it
+never silently changes the answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses.simple_symbolic import SimpleSymbolicClient
+from repro.core import diagnostics
+from repro.core.engine import PCFGEngine
+from repro.core.shard import ShardedEngine
+from repro.faults import plane
+from repro.faults.plane import FaultSchedule, PlannedFault
+from repro.lang import build_cfg, programs
+from repro.obs import recorder as obs
+
+
+def _cfg(name="pingpong"):
+    return build_cfg(programs.get(name).parse())
+
+
+def _schedule(point: str, **kwargs) -> FaultSchedule:
+    return FaultSchedule([PlannedFault(point, **kwargs)], label="test")
+
+
+def _answer(result):
+    return (frozenset(result.matches), result.topology.describe())
+
+
+@pytest.mark.parametrize("name", ["pingpong", "master_worker"])
+def test_boundary_corruption_is_contained(name):
+    """One undecodable boundary fact: the run completes, matches the
+    serial answer exactly (the corrupt shard's input re-drains from
+    pre-round state), and the damage is visible in diagnostics."""
+    serial = PCFGEngine(_cfg(name), SimpleSymbolicClient()).run()
+    with obs.recording():
+        with plane.engaged(_schedule("shard.boundary.corrupt")):
+            faulted = ShardedEngine(
+                _cfg(name), SimpleSymbolicClient(), jobs=2
+            ).run()
+        counters = dict(obs.active_recorder().counters)
+    assert _answer(faulted) == _answer(serial)
+    if counters.get("engine.shard.corrupt_payloads", 0):
+        codes = {diag.code for diag in faulted.diagnostics}
+        assert diagnostics.SHARD_FALLBACK in codes
+
+
+def test_corruption_does_not_freeze_early_fixpoint():
+    """The regression the invariant sweep caught: merging a corrupt
+    shard's states *before* rejecting its boundary facts makes the
+    re-drain a no-op and loses interior facts.  Validation must reject
+    the whole outcome up front, keeping pre-round state."""
+    name = "master_worker"
+    serial = PCFGEngine(_cfg(name), SimpleSymbolicClient()).run()
+    # fire on every round's merge, not just the first
+    schedule = FaultSchedule(
+        [PlannedFault("shard.boundary.corrupt", hit=1, count=50)], label="test"
+    )
+    with plane.engaged(schedule):
+        faulted = ShardedEngine(_cfg(name), SimpleSymbolicClient(), jobs=2).run()
+    assert frozenset(faulted.matches) == frozenset(serial.matches)
+
+
+def test_worker_kill_degrades_with_diagnostic():
+    serial = PCFGEngine(_cfg("master_worker"), SimpleSymbolicClient()).run()
+    with obs.recording():
+        with plane.engaged(_schedule("shard.worker.kill")):
+            faulted = ShardedEngine(
+                _cfg("master_worker"), SimpleSymbolicClient(), jobs=2
+            ).run()
+        counters = dict(obs.active_recorder().counters)
+    assert frozenset(faulted.matches) == frozenset(serial.matches)
+    if counters.get("engine.shard.workers_lost", 0):
+        codes = {diag.code for diag in faulted.diagnostics}
+        assert diagnostics.SHARD_WORKER_LOST in codes
+        assert faulted.gave_up
+
+
+def test_run_never_raises_under_combined_faults():
+    schedule = FaultSchedule(
+        [
+            PlannedFault("shard.boundary.corrupt", hit=1, count=2),
+            PlannedFault("shard.worker.kill", hit=2, count=1),
+        ],
+        label="test",
+    )
+    with plane.engaged(schedule):
+        result = ShardedEngine(
+            _cfg("master_worker"), SimpleSymbolicClient(), jobs=2
+        ).run()
+    assert result is not None
+    assert result.confidence in (
+        diagnostics.EXACT, diagnostics.PARTIAL, diagnostics.GAVE_UP
+    )
