@@ -62,6 +62,13 @@ and :func:`measure_disabled_vs_tree`.
 replay against an in-process ``repro serve`` stack — requests/sec,
 cache-hit rate (gated: >= 0.9 on the warm replay), shed rate, and
 latency percentiles.  See :func:`measure_serve`.
+
+With ``--telemetry-pre-tree WORKTREE`` (a checkout of the commit before
+the telemetry plane landed), ``--out`` documents additionally record
+``"telemetry_overhead"``: the same paired-subprocess tree comparison
+applied to the disabled telemetry guards (per-step progress-hook checks,
+thread-local trace-context lookups), gated at <= 2% on the Section IX
+profile workload.  See :func:`measure_telemetry_overhead`.
 """
 
 from __future__ import annotations
@@ -479,6 +486,77 @@ def measure_disabled_vs_tree(pre_tree: Path) -> dict:
     return {"pre_tree": str(pre_tree), "workloads": workloads}
 
 
+#: disabled-telemetry cost target on the gated workload: the progress-hook
+#: and trace-context guards the engine hot path now carries must stay
+#: invisible when no subscriber or sink is installed
+TELEMETRY_OFF_TARGET = 0.02
+#: the workload the telemetry gate is enforced on (the Section IX profile
+#: drives the deepest engine loop, where a hot-path guard would show first)
+TELEMETRY_GATED_WORKLOAD = "bench_sec9_profile"
+
+
+def measure_telemetry_overhead(pre_tree: Path) -> dict:
+    """Disabled-telemetry cost vs a pre-telemetry source tree.
+
+    Same paired-subprocess design as :func:`measure_disabled_vs_tree` —
+    the telemetry plane's disabled mode is the in-process baseline, so
+    only a tree comparison can see the guards themselves (the per-step
+    progress-hook check in the engine worklist loop and the thread-local
+    trace-context lookups around rungs and attempts).  Each window runs
+    the workload in two fresh subprocesses back to back, one importing
+    ``repro`` from ``pre_tree`` (a checkout of the commit before the
+    telemetry plane landed), one from this repository, in alternating
+    order; the median window ratio is the recorded ``off_overhead``.
+
+    The gate (target <= 2%) is enforced on ``TELEMETRY_GATED_WORKLOAD``;
+    the other tracked workloads are recorded informationally.
+    """
+    pre_src = Path(pre_tree) / "src"
+    if not pre_src.is_dir():
+        pre_src = Path(pre_tree)
+
+    def timed(tree: str, name: str, inner: int) -> float:
+        out = subprocess.run(
+            [sys.executable, "-c", _TREE_SNIPPET, tree, name, str(inner)],
+            capture_output=True, text=True, check=True,
+        )
+        return float(out.stdout.strip())
+
+    workloads: Dict[str, dict] = {}
+    for name, workload in WORKLOADS.items():
+        if name == "bench_corpus_batch":
+            continue
+        _reset()
+        start = time.perf_counter()
+        workload()
+        single = time.perf_counter() - start
+        inner = max(3, min(100, int(0.25 / max(single, 1e-9))))
+        ratios = []
+        for window in range(PROV_TREE_WINDOWS):
+            if window % 2 == 0:
+                pre_s = timed(str(pre_src), name, inner)
+                cur_s = timed(str(SRC), name, inner)
+            else:
+                cur_s = timed(str(SRC), name, inner)
+                pre_s = timed(str(pre_src), name, inner)
+            ratios.append(cur_s / pre_s)
+        workloads[name] = {
+            "off_overhead": statistics.median(ratios) - 1.0,
+            "windows": len(ratios),
+        }
+    gated = workloads.get(TELEMETRY_GATED_WORKLOAD, {})
+    return {
+        "pre_tree": str(pre_tree),
+        "off_target": TELEMETRY_OFF_TARGET,
+        "gate": {
+            "workload": TELEMETRY_GATED_WORKLOAD,
+            "target": TELEMETRY_OFF_TARGET,
+            "met": gated.get("off_overhead", 1.0) <= TELEMETRY_OFF_TARGET,
+        },
+        "workloads": workloads,
+    }
+
+
 #: worker counts measured by the parallel section; 1 is the baseline
 PARALLEL_JOBS = (1, 2, 4)
 #: corpus batch size for the parallel measurement — larger than the serial
@@ -658,7 +736,12 @@ def measure() -> dict:
     }
 
 
-def write_baseline(out: Path, pre: Path = None, prov_pre_tree: Path = None) -> dict:
+def write_baseline(
+    out: Path,
+    pre: Path = None,
+    prov_pre_tree: Path = None,
+    telemetry_pre_tree: Path = None,
+) -> dict:
     document = measure()
     document["checkpoint_overhead"] = measure_checkpoint_overhead()
     old = json.loads(pre.read_text()) if pre is not None else None
@@ -668,6 +751,10 @@ def write_baseline(out: Path, pre: Path = None, prov_pre_tree: Path = None) -> d
     if prov_pre_tree is not None:
         document["provenance_overhead"]["disabled_vs_tree"] = (
             measure_disabled_vs_tree(prov_pre_tree)
+        )
+    if telemetry_pre_tree is not None:
+        document["telemetry_overhead"] = measure_telemetry_overhead(
+            telemetry_pre_tree
         )
     if old is not None:
         document["pre_overhaul"] = {
@@ -727,6 +814,15 @@ def main(argv=None) -> int:
              "of the disabled-mode overhead (with --out)",
     )
     parser.add_argument(
+        "--telemetry-pre-tree",
+        type=Path,
+        default=None,
+        help="source tree of the commit before the telemetry plane (e.g. a "
+             "git worktree): paired-subprocess measurement of the disabled "
+             "progress-hook/trace-context overhead, gated on the Section IX "
+             "workload (with --out)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.25,
@@ -734,7 +830,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.out is not None:
-        document = write_baseline(args.out, args.pre, args.prov_pre_tree)
+        document = write_baseline(
+            args.out, args.pre, args.prov_pre_tree, args.telemetry_pre_tree
+        )
         for name, entry in sorted(document["benches"].items()):
             print(f"{name:28s} median {entry['median_s']:.4f}s")
         ckpt = document["checkpoint_overhead"]
@@ -787,6 +885,19 @@ def main(argv=None) -> int:
                     f"{100 * entry['off_overhead']:+.2f}% "
                     f"(target <= {100 * prov['off_target']:.0f}%)"
                 )
+        telemetry = document.get("telemetry_overhead")
+        if telemetry is not None:
+            for name, entry in sorted(telemetry["workloads"].items()):
+                gated = " [gated]" if name == telemetry["gate"]["workload"] else ""
+                print(
+                    f"{name:28s} telemetry-off overhead vs pre tree "
+                    f"{100 * entry['off_overhead']:+.2f}%{gated}"
+                )
+            status = "met" if telemetry["gate"]["met"] else "NOT met"
+            print(
+                f"telemetry gate: <= {100 * telemetry['gate']['target']:.0f}% "
+                f"on {telemetry['gate']['workload']} ({status})"
+            )
         print(f"wrote {args.out}")
         return 0
     return compare(args.compare, args.threshold)

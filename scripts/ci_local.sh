@@ -27,6 +27,10 @@
 #                  corpus through scripts/loadgen.py (cache-hit-rate >= 0.9,
 #                  zero errors), SIGTERM-drain it, then run the SIGKILL
 #                  kill-and-restart recovery suite (tests/serve/test_crash.py)
+#   telemetry-smoke> stream one analyze request against a live daemon (event
+#                  sequence: admission -> rung -> progress -> result), scrape
+#                  /metrics (fail on missing required series or unparseable
+#                  exposition), and stitch the request trace via `repro trace`
 #   bench-smoke -> benchmark suite with timing disabled, the tracked-baseline
 #                  regression gate (`scripts/bench_baseline.py --compare`),
 #                  then the Section IX profile artifact via
@@ -147,6 +151,18 @@ step "serve-smoke: daemon serves, caches, and drains" bash -c '
   exit "$status"'
 step "serve-smoke: SIGKILL kill-and-restart recovery suite" \
   python -m pytest tests/serve/test_crash.py -q
+step "telemetry-smoke: stream + /metrics scrape + stitched trace" bash -c '
+  rm -rf .ci-serve &&
+  python -m repro serve --state-dir .ci-serve --port 0 --workers 2 &
+  daemon=$!
+  for _ in $(seq 1 100); do [ -f .ci-serve/daemon.json ] && break; sleep 0.2; done
+  python scripts/telemetry_smoke.py --state-dir .ci-serve \
+      --trace-out telemetry-trace.json
+  status=$?
+  kill -TERM "$daemon" 2>/dev/null
+  wait "$daemon" || status=1
+  rm -rf .ci-serve telemetry-trace.json
+  exit "$status"'
 step "bench-smoke: benchmarks" python -m pytest benchmarks -q --benchmark-disable
 step "bench-smoke: tracked baseline" \
   python scripts/bench_baseline.py --compare BENCH_pr2.json

@@ -57,6 +57,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", default=None, help="write the metrics JSON here")
     parser.add_argument(
+        "--metrics-url", nargs="?", const="auto", default=None, metavar="URL",
+        help="after the replay, scrape the daemon's /metrics exposition and "
+             "report the service-side counters next to the client-side "
+             "numbers (with no value: <base-url>/metrics)",
+    )
+    parser.add_argument(
         "--assert-hit-rate", type=float, default=None, metavar="RATE",
         help="exit nonzero when cache_hit_rate falls below RATE",
     )
@@ -92,6 +98,30 @@ def main(argv=None) -> int:
     metrics["distinct"] = args.distinct
     metrics["duplicates"] = args.dup
     metrics["warm_first"] = not args.no_warm
+    lat = metrics["latency_ms"]
+    print(
+        f"latency p50={lat['p50']:.1f}ms p95={lat['p95']:.1f}ms "
+        f"p99={lat['p99']:.1f}ms",
+        file=sys.stderr,
+    )
+    if args.metrics_url is not None:
+        from repro.serve.loadgen import scrape_metrics
+
+        scrape_base = base_url if args.metrics_url == "auto" else args.metrics_url
+        scrape_base = scrape_base[: -len("/metrics")] if scrape_base.endswith("/metrics") else scrape_base
+        try:
+            samples = scrape_metrics(scrape_base)
+        except Exception as exc:
+            print(f"warning: /metrics scrape failed: {exc}", file=sys.stderr)
+        else:
+            metrics["service_metrics"] = {
+                name: value
+                for name, value in sorted(samples.items())
+                if name.startswith(
+                    ("repro_serve_cache", "repro_serve_queue", "repro_engine")
+                )
+                or name.startswith("repro_serve_http_requests")
+            }
     print(json.dumps(metrics, indent=2, sort_keys=True))
     if args.out:
         Path(args.out).write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""CI smoke for the service telemetry plane, against a live daemon.
+
+Drives one streaming analyze request and checks the event sequence
+(admission first, result last, rung and engine heartbeats in between),
+scrapes ``/metrics`` and fails when a required series is missing or the
+exposition does not parse, then stitches the request's cross-process
+span shards through ``repro trace`` and schema-checks the result.
+
+Usage::
+
+    PYTHONPATH=src python scripts/telemetry_smoke.py --state-dir .ci-serve
+    PYTHONPATH=src python scripts/telemetry_smoke.py \
+        --url http://127.0.0.1:8642 --state-dir .ci-serve \
+        --trace-out telemetry-trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import trace_main  # noqa: E402
+from repro.corpus.generator import generate  # noqa: E402
+from repro.obs import metrics  # noqa: E402
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+# Series a dashboard cannot live without; their absence fails the job.
+REQUIRED_SERIES = (
+    "repro_up",
+    "repro_serve_cache_resident_entries",
+    "repro_serve_queue_depth",
+    "repro_serve_http_latency_ms",
+    "repro_serve_http_requests_total",
+    "repro_engine_steps_total",
+)
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def stream_request(base_url: str, source: str, timeout: float) -> list:
+    request = urllib.request.Request(
+        base_url + "/v1/analyze",
+        data=json.dumps({"program": source, "stream": True}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    events = []
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        if response.status != 200:
+            raise RuntimeError(f"streaming analyze returned {response.status}")
+        for line in response:
+            events.append(json.loads(line))
+    return events
+
+
+def check_stream(events: list) -> list:
+    problems = []
+    kinds = [event.get("event") for event in events]
+    if not events:
+        return ["stream produced no events"]
+    if kinds[0] != "admission":
+        problems.append(f"first event is {kinds[0]!r}, expected 'admission'")
+    elif not events[0].get("trace"):
+        problems.append("admission event carries no trace id")
+    if kinds[-1] != "result":
+        problems.append(f"last event is {kinds[-1]!r}, expected 'result'")
+    if "rung" not in kinds:
+        problems.append("no rung announcement in the stream")
+    if "progress" not in kinds:
+        problems.append("no engine heartbeats in the stream")
+    elif "rung" in kinds and kinds.index("progress") < kinds.index("rung"):
+        problems.append("heartbeat arrived before the first rung")
+    return problems
+
+
+def check_metrics(base_url: str, timeout: float) -> list:
+    with urllib.request.urlopen(base_url + "/metrics", timeout=timeout) as response:
+        if response.status != 200:
+            return [f"/metrics returned {response.status}"]
+        text = response.read().decode("utf-8")
+    problems = [f"exposition: {p}" for p in metrics.validate_exposition(text)]
+    samples = metrics.parse_exposition(text)
+    names = {name.split("{", 1)[0] for name in samples}
+    for series in REQUIRED_SERIES:
+        candidates = {series, series + "_count"}
+        if not candidates & names:
+            problems.append(f"required series missing: {series}")
+    if samples.get("repro_engine_steps_total", 0.0) <= 0.0:
+        problems.append(
+            "repro_engine_steps_total is zero: worker counters were lost"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None, help="daemon base URL (overrides --state-dir discovery)"
+    )
+    parser.add_argument(
+        "--state-dir", default=".ci-serve",
+        help="daemon state directory, also where span shards live "
+             "(default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=71)
+    parser.add_argument("--timeout-sec", type=float, default=60.0)
+    parser.add_argument(
+        "--trace-out", default="telemetry-trace.json",
+        help="write the stitched Chrome trace here (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    base_url = args.url
+    if base_url is None:
+        from repro.serve.http import discover
+
+        located = discover(args.state_dir)
+        if located is None:
+            return fail(f"no live daemon found via {args.state_dir}/daemon.json")
+        base_url = f"http://{located[0]}:{located[1]}"
+
+    events = stream_request(base_url, generate(args.seed).source, args.timeout_sec)
+    print(f"stream: {len(events)} events "
+          f"({', '.join(sorted({e.get('event', '?') for e in events}))})")
+    problems = check_stream(events)
+    problems += [f"metrics: {p}" for p in check_metrics(base_url, args.timeout_sec)]
+
+    trace_id = events[0].get("trace") if events else None
+    if trace_id:
+        # span records are eventually consistent: the daemon's serve.job
+        # record lands just after the client sees the result, so give the
+        # shards a moment to settle before stitching
+        sink = Path(args.state_dir) / "traces"
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            shards = list(sink.glob(f"{trace_id}-*.jsonl"))
+            names = {
+                json.loads(line)["name"]
+                for shard in shards
+                for line in shard.read_text().splitlines()
+            }
+            if len(shards) >= 2 and "serve.job" in names:
+                break
+            time.sleep(0.05)
+        status = trace_main(
+            [trace_id, "--state-dir", args.state_dir, "--out", args.trace_out]
+        )
+        if status != 0:
+            problems.append(f"repro trace {trace_id} exited {status}")
+        else:
+            document = json.loads(Path(args.trace_out).read_text())
+            validate_chrome_trace(document)
+            spans = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+            pids = {e["pid"] for e in spans}
+            print(f"trace: {len(spans)} spans across {len(pids)} process(es)")
+            if len(pids) < 2:
+                problems.append(
+                    "stitched trace covers one process; attempt-worker "
+                    "shard missing"
+                )
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("telemetry-smoke: stream, /metrics, and stitched trace all check out")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -816,6 +816,69 @@ def faults_main(argv) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Stitch one request's per-process span shards (daemon, "
+                    "attempt workers, shard-pool workers) into a single "
+                    "Chrome trace loadable in chrome://tracing or "
+                    "ui.perfetto.dev. Trace ids come back in every service "
+                    "response and streaming admission event.",
+    )
+    parser.add_argument("trace_id", help="trace id from a service response")
+    parser.add_argument(
+        "--state-dir", default=".repro-serve", metavar="DIR",
+        help="the daemon's state directory; span shards live under "
+             "DIR/traces (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sink", default=None, metavar="DIR",
+        help="read span shards from DIR directly (overrides --state-dir)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: trace-<trace_id>.json)",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def trace_main(argv) -> int:
+    from repro.obs import trace as trace_mod
+
+    args = build_trace_parser().parse_args(argv)
+    if args.log_level:
+        slog.configure(args.log_level)
+    sink = Path(args.sink) if args.sink else Path(args.state_dir) / "traces"
+    try:
+        document = trace_mod.stitch(sink, args.trace_id)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else Path(f"trace-{args.trace_id}.json")
+    out.write_text(json.dumps(document, indent=1))
+    spans = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    pids = {e["pid"] for e in spans}
+    names = sorted({e["name"] for e in spans})
+    span_of = {e["args"].get("span"): e for e in spans}
+    roots = [
+        e for e in spans if e["args"].get("parent") not in span_of
+    ]
+    wall_us = 0
+    if spans:
+        start = min(e["ts"] for e in spans)
+        end = max(e["ts"] + e.get("dur", 0) for e in spans)
+        wall_us = end - start
+    print(
+        f"trace {args.trace_id}: {len(spans)} spans across {len(pids)} "
+        f"process(es), {wall_us / 1000.0:.1f} ms wall"
+    )
+    print(f"  root span(s): " + ", ".join(sorted(e["name"] for e in roots)))
+    print(f"  span names: {', '.join(names)}")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     """Top-level entry point: GiveUp-family failures exit nonzero with a
     one-line message, never a traceback."""
@@ -843,6 +906,8 @@ def _main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     if argv and argv[0] == "resume":
         # ``repro resume <target> [...]`` == ``repro <target> [...] --resume``
         return _main(list(argv[1:]) + ["--resume"])

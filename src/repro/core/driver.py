@@ -32,10 +32,12 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.core import diagnostics
+from repro.core import progress as progress_hooks
 from repro.core.engine import AnalysisResult, EngineLimits
 from repro.core.topology import MatchRecord, StaticTopology
 from repro.obs import recorder as obs
 from repro.obs import slog
+from repro.obs import trace
 
 RungRunner = Callable[[object, EngineLimits], Tuple[AnalysisResult, object, object]]
 
@@ -297,6 +299,7 @@ def analyze_with_fallback(
     checkpointer=None,
     resume=None,
     jobs: int = 1,
+    progress=None,
 ) -> FallbackReport:
     """Climb the fallback ladder until a rung answers exactly.
 
@@ -316,21 +319,34 @@ def analyze_with_fallback(
     ``jobs > 1`` runs the rungs *speculatively* in a process pool (see
     :func:`_parallel_rungs`); checkpointing/resume forces the serial
     climb, whose warm-start carry speculation cannot reproduce.
+
+    ``progress`` (a callable of one event dict) receives a ``rung``
+    event as each rung starts, plus the engine/shard heartbeats emitted
+    below it (installed ambiently via :mod:`repro.core.progress`, so
+    rung runners need no signature change).  Streaming forces the serial
+    climb: speculation would interleave rungs' events meaninglessly.
     """
     if hasattr(program_or_spec, "parse"):
         program = program_or_spec.parse()
     else:
         program = program_or_spec
     rungs = ladder if ladder is not None else default_ladder(limits)
-    if jobs > 1 and checkpointer is None and resume is None:
+    if jobs > 1 and checkpointer is None and resume is None and progress is None:
         report = _parallel_rungs(program, rungs, jobs)
         if report is not None:
             return report
     report = FallbackReport()
     carry = resume
     for rung in rungs:
+        if progress is not None:
+            try:
+                progress({"event": "rung", "rung": rung.name})
+            except Exception:  # a throwing subscriber must not abort the climb
+                progress = None
         wants_ckpt = (checkpointer is not None or carry is not None)
-        with obs.span(f"driver.rung.{rung.name}"):
+        with obs.span(f"driver.rung.{rung.name}"), trace.span(
+            f"driver.rung.{rung.name}"
+        ), progress_hooks.installed(progress):
             if wants_ckpt and _supports_checkpointing(rung.run):
                 result, cfg, client = rung.run(
                     program, rung.limits, checkpointer=checkpointer, resume=carry

@@ -80,6 +80,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import checkpoint as checkpoint_mod
 from repro.core import diagnostics
+from repro.core import progress as progress_hooks
 from repro.core.client import ClientAnalysis, ClientState
 from repro.core.diagnostics import EXACT, Diagnostic
 from repro.core.errors import ClientFault, GiveUp, MalformedCFG
@@ -190,6 +191,7 @@ class PCFGEngine(StepCore):
         limits: Optional[EngineLimits] = None,
         intern_states: bool = True,
         checkpointer: Optional["checkpoint_mod.Checkpointer"] = None,
+        progress: Optional[progress_hooks.ProgressHook] = None,
     ):
         self.cfg = cfg
         self.client = client
@@ -197,6 +199,9 @@ class PCFGEngine(StepCore):
         self.intern_states = intern_states
         #: on-disk checkpoint sink (None: budget-trip snapshots stay in memory)
         self.checkpointer = checkpointer
+        #: live streaming heartbeat sink — explicit argument wins, else the
+        #: ambient per-thread hook installed by the driver around each rung
+        self._progress = progress if progress is not None else progress_hooks.current()
         #: per-run hash-consing table: state fingerprint -> canonical state
         self._intern: Dict[Any, ClientState] = {}
         #: live fixpoint state while a run is in flight (the atexit hook's view)
@@ -358,6 +363,19 @@ class PCFGEngine(StepCore):
                 result.steps += 1
                 obs.incr("engine.steps")
                 obs.observe("engine.worklist.length", len(worklist))
+                if self._progress is not None and (
+                    result.steps == 1
+                    or result.steps % progress_hooks.HEARTBEAT_EVERY_STEPS == 0
+                ):
+                    try:
+                        self._progress({
+                            "event": "progress",
+                            "phase": "engine",
+                            "steps": result.steps,
+                            "worklist": len(worklist),
+                        })
+                    except Exception:
+                        self._progress = None
                 if result.steps > limits.max_steps:
                     self._record_budget(
                         result,

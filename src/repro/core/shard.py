@@ -67,6 +67,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core import checkpoint as checkpoint_mod
 from repro.core import diagnostics
+from repro.core import progress as progress_hooks
 from repro.core.diagnostics import Diagnostic
 from repro.core.engine import (
     _RECOVERABLE,
@@ -78,7 +79,7 @@ from repro.core.pcfg import PCFGEdge, PCFGNodeKey
 from repro.core.topology import StaticTopology
 from repro.faults import plane as faults
 from repro.lang.cfg import CFG
-from repro.obs import provenance, slog
+from repro.obs import provenance, slog, trace
 from repro.obs import recorder as obs
 
 #: shards per worker process — more shards than workers lets the pool's
@@ -139,13 +140,20 @@ class _ShardWorker(PCFGEngine):
     def run_shard(self, task: dict) -> dict:
         if task.get("kill") or os.environ.get(KILL_ENV) == str(task["shard"]):
             os.kill(os.getpid(), signal.SIGKILL)
-        if task["capture"]:
-            with obs.recording() as recorder:
-                out = self._local_fixpoint(task)
-            out["counters"] = dict(recorder.counters)
-        else:
-            out = self._local_fixpoint(task)
-            out["counters"] = None
+        span_ctx = trace.TraceContext.from_dict(task.get("trace"))
+        if span_ctx is not None and task.get("trace_sink"):
+            # each pool worker writes its own span shard; the stitcher
+            # reassembles them by trace id across process boundaries
+            trace.configure_sink(task["trace_sink"], "shard-worker")
+        with trace.activate(span_ctx):
+            with trace.span("engine.shard.run", shard=task["shard"]):
+                if task["capture"]:
+                    with obs.recording() as recorder:
+                        out = self._local_fixpoint(task)
+                    out["counters"] = dict(recorder.counters)
+                else:
+                    out = self._local_fixpoint(task)
+                    out["counters"] = None
         return out
 
     def _in_shard(self, key: PCFGNodeKey, cuts, shard: int) -> bool:
@@ -282,8 +290,11 @@ class ShardedEngine(PCFGEngine):
         jobs: int = 2,
         intern_states: bool = True,
         checkpointer=None,
+        progress=None,
     ):
-        super().__init__(cfg, client, limits, intern_states, checkpointer)
+        super().__init__(
+            cfg, client, limits, intern_states, checkpointer, progress=progress
+        )
         self.jobs = max(1, int(jobs))
         self._shard_cache: Dict[PCFGNodeKey, int] = {}
 
@@ -392,6 +403,7 @@ class ShardedEngine(PCFGEngine):
         capture = obs.enabled()
         last_ckpt_steps = result.steps
         tripped = False
+        rounds = 0
         try:
             while dirty:
                 code_msg = self._parent_budget_check(result, states, deadline)
@@ -400,6 +412,18 @@ class ShardedEngine(PCFGEngine):
                     tripped = True
                     break
                 obs.incr("engine.shard.rounds")
+                rounds += 1
+                if self._progress is not None:
+                    try:
+                        self._progress({
+                            "event": "progress",
+                            "phase": "round",
+                            "round": rounds,
+                            "steps": result.steps,
+                            "dirty": len(dirty),
+                        })
+                    except Exception:
+                        self._progress = None
                 by_shard: Dict[int, List[PCFGNodeKey]] = {}
                 for key in dirty:
                     by_shard.setdefault(self._shard_of(plan, key), []).append(key)
@@ -512,6 +536,9 @@ class ShardedEngine(PCFGEngine):
             shard = self._shard_of(plan, key)
             if shard in shard_states:
                 shard_states[shard].append((key, checkpoint_mod.encode(state)))
+        ctx = trace.current()
+        trace_dict = ctx.to_dict() if ctx is not None else None
+        sink = str(trace.sink()) if trace_dict is not None and trace.sink() else None
         return [
             {
                 "shard": shard,
@@ -526,6 +553,8 @@ class ShardedEngine(PCFGEngine):
                 "max_steps": remaining_steps,
                 "deadline_sec": remaining_sec,
                 "capture": capture,
+                "trace": trace_dict,
+                "trace_sink": sink,
             }
             for shard, keys in sorted(by_shard.items())
         ]

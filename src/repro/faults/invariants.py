@@ -29,6 +29,11 @@ invariants the service claims to hold *under faults*:
     Oversized bodies, malformed JSON, lexer garbage, and pathologically
     nested programs each get a *structured 4xx* and none of them trips
     the circuit breaker (client bugs must not look like rung failures).
+``metrics-scrape``
+    Scraping ``/metrics`` while the plane injects render failures always
+    answers 200 with parseable Prometheus text (the fallback exposition
+    at worst) and leaves the daemon healthy — telemetry must never take
+    down the service it watches.
 
 Each case is a fresh state directory and a fresh fault plane, so any
 failure reproduces from ``REPRO_FAULT_SEED=<base>:<case>`` alone.  The
@@ -67,6 +72,10 @@ SHARD_POINTS = frozenset({"shard.boundary.corrupt", "shard.worker.kill"})
 #: fault points exercised through a real HTTP round-trip
 HTTP_POINTS = frozenset({"http.client.disconnect"})
 
+#: fault points living in the /metrics exposition path — exercised by
+#: scraping a live server while the plane is armed
+METRICS_POINTS = frozenset({"metrics.render.fail"})
+
 #: fault points living under the engine's checkpointer — only reachable
 #: through a run that actually writes snapshots
 CKPT_POINTS = frozenset({
@@ -81,7 +90,7 @@ class CaseResult:
     case: int
     label: str
     focus: str
-    channel: str  # "service" | "shard" | "http"
+    channel: str  # "service" | "shard" | "http" | "ckpt" | "metrics"
     ok: bool = True
     violations: List[str] = field(default_factory=list)
     coverage: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -558,6 +567,72 @@ def _run_http_case(state_dir: Path, programs, case: CaseResult) -> None:
     _check_cache_integrity(state_dir, case)
 
 
+def _run_metrics_case(state_dir: Path, programs, case: CaseResult) -> None:
+    """Metrics channel: scrape ``/metrics`` while the fault plane injects
+    render failures mid-scrape.  The invariants: every scrape answers 200
+    (the fallback exposition, never a 500 or a hang), every body is
+    parseable Prometheus text, and the daemon stays healthy throughout —
+    telemetry must never take down the service it watches."""
+    from repro.obs import metrics as metrics_mod
+    from repro.serve.daemon import AnalysisService, AnalyzeRequest
+    from repro.serve.http import AnalysisHTTPServer
+
+    service = AnalysisService(_service_config(state_dir))
+    service.start()
+    server = AnalysisHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        # real work first so the exposition has non-trivial series to render
+        generated = programs[0]
+        try:
+            status, payload = service.submit(
+                AnalyzeRequest(program=generated.source, deadline_sec=10.0)
+            )
+            if status == "accepted":
+                payload.wait(WAIT_SEC)
+        except Exception as exc:
+            case.fail("service-answers", f"submit raised {exc!r}")
+        for attempt in range(4):
+            try:
+                with urllib.request.urlopen(base + "/metrics", timeout=5.0) as resp:
+                    code, text = resp.status, resp.read().decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                case.fail(
+                    "metrics-scrape",
+                    f"scrape {attempt}: HTTP {exc.code} (must always be 200)",
+                )
+                continue
+            except (OSError, http.client.HTTPException) as exc:
+                case.fail("metrics-scrape", f"scrape {attempt}: {exc!r}")
+                continue
+            if code != 200:
+                case.fail("metrics-scrape", f"scrape {attempt}: status {code}")
+                continue
+            problems = metrics_mod.validate_exposition(text)
+            if problems:
+                case.fail(
+                    "metrics-scrape",
+                    f"scrape {attempt}: non-parseable exposition: {problems[0]}",
+                )
+            samples = metrics_mod.parse_exposition(text)
+            if "repro_up" not in samples:
+                case.fail(
+                    "metrics-scrape", f"scrape {attempt}: repro_up series missing"
+                )
+        status, health = _http_get(base, "/healthz", timeout=5.0)
+        if status != 200 or health.get("status") != "ok":
+            case.fail("metrics-scrape", "daemon unhealthy after faulted scrapes")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+        service.drain(timeout=WAIT_SEC)
+        service.stop()
+    _check_cache_integrity(state_dir, case)
+
+
 def _channel_for(schedule: FaultSchedule) -> str:
     if schedule.focus in SHARD_POINTS:
         return "shard"
@@ -565,6 +640,8 @@ def _channel_for(schedule: FaultSchedule) -> str:
         return "http"
     if schedule.focus in CKPT_POINTS:
         return "ckpt"
+    if schedule.focus in METRICS_POINTS:
+        return "metrics"
     return "service"
 
 
@@ -591,6 +668,8 @@ def run_case(base_seed: int, case_index: int, state_root: Path) -> CaseResult:
             _run_http_case(state_dir, programs, case)
         elif case.channel == "ckpt":
             _run_ckpt_case(state_dir, programs, case)
+        elif case.channel == "metrics":
+            _run_metrics_case(state_dir, programs, case)
         else:
             _run_service_case(state_dir, programs, case)
     except queue.Full:

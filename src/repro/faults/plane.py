@@ -66,6 +66,7 @@ CATALOG: "Dict[str, str]" = {
     "daemon.clock.pressure": "the attempt deadline collapses to near zero",
     "daemon.queue.overflow": "the admission queue reports full",
     "http.client.disconnect": "the HTTP client hangs up before the response",
+    "metrics.render.fail": "the /metrics registry render raises mid-scrape",
 }
 
 

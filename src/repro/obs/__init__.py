@@ -25,7 +25,7 @@ export of :mod:`repro.obs.export`) and :mod:`repro.obs.slog` (structured
 JSON logging to stderr, the ``--log-level`` / ``REPRO_LOG`` knob).
 """
 
-from repro.obs import export, provenance, slog
+from repro.obs import export, metrics, provenance, slog, trace
 from repro.obs.profile import SPAN_CATEGORIES, Profile, build_profile, profile_program
 from repro.obs.provenance import ProvenanceEvent, ProvenanceRecorder
 from repro.obs.recorder import (
@@ -60,6 +60,7 @@ __all__ = [
     "enabled",
     "export",
     "incr",
+    "metrics",
     "observe",
     "profile_program",
     "provenance",
@@ -67,4 +68,5 @@ __all__ = [
     "reset",
     "slog",
     "span",
+    "trace",
 ]

@@ -102,6 +102,21 @@ RESERVOIR_SIZE = 1024
 PERCENTILES = (0.50, 0.90, 0.99)
 
 
+def percentile(values, q: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]).
+
+    The one percentile definition in the codebase: histogram snapshots,
+    the metrics exposition, and the load generator's latency summary all
+    route through it, so their numbers agree by construction.  Returns
+    None for an empty series — never NaN.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    last = len(ordered) - 1
+    return ordered[min(last, int(q * last + 0.5))]
+
+
 @dataclass
 class HistogramStats:
     """Summary statistics of one observed value stream."""
@@ -138,12 +153,12 @@ class HistogramStats:
         nearest-rank over up to ``RESERVOIR_SIZE`` retained samples."""
         if not self._samples:
             return None
-        ordered = sorted(self._samples)
-        last = len(ordered) - 1
-        return {
-            f"p{int(q * 100)}": ordered[min(last, int(q * last + 0.5))]
-            for q in PERCENTILES
-        }
+        return {f"p{int(q * 100)}": percentile(self._samples, q) for q in PERCENTILES}
+
+    def samples(self) -> List[float]:
+        """A copy of the retained sample reservoir (for re-summarizing at
+        other percentile points, e.g. the metrics exposition)."""
+        return list(self._samples)
 
 
 class _Span:
@@ -260,6 +275,26 @@ class Recorder:
         self.counters.clear()
         self.histograms.clear()
         self._stack.clear()
+
+    def metrics_view(self):
+        """A consistent ``(counters, histograms)`` copy for exposition.
+
+        ``histograms`` maps name -> ``(count, total, samples)``.  Taken
+        under the lock when this recorder is the locked shared instance,
+        so a /metrics scrape never races a job thread mid-update (dict
+        iteration during mutation raises RuntimeError).
+        """
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                return dict(self.counters), {
+                    name: (h.count, h.total, h.samples())
+                    for name, h in self.histograms.items()
+                }
+        return dict(self.counters), {
+            name: (h.count, h.total, h.samples())
+            for name, h in self.histograms.items()
+        }
 
     def snapshot(self) -> Dict[str, dict]:
         """A JSON-serializable copy of all aggregates."""

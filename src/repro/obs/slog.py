@@ -30,6 +30,19 @@ _threshold = _OFF
 #: environment knob mirrored by the CLI's ``--log-level``
 ENV_VAR = "REPRO_LOG"
 
+#: optional callable returning ambient fields (e.g. the active trace/span
+#: ids) folded into every emitted record; explicit fields win on clash.
+#: Registered by :mod:`repro.obs.trace` at import — slog itself stays
+#: dependency-free.
+_context_provider = None
+
+
+def set_context_provider(provider) -> None:
+    """Install a zero-arg callable whose dict result (or None) is merged
+    into every record that clears the threshold."""
+    global _context_provider
+    _context_provider = provider
+
 
 def configure(level: Optional[str]) -> None:
     """Set the logging threshold; None/""/"off" disables."""
@@ -69,6 +82,13 @@ def log(level: str, event: str, **fields: Any) -> None:
     if LEVELS.get(level, _OFF) < _threshold:
         return
     record = {"ts": round(time.time(), 6), "level": level, "event": event}
+    if _context_provider is not None:
+        try:
+            context = _context_provider()
+        except Exception:
+            context = None
+        if context:
+            record.update(context)
     for key, value in fields.items():
         if value is not None:
             record[key] = value

@@ -70,6 +70,7 @@ from repro.lang.cfg import build_cfg
 from repro.lang.parser import ParseError
 from repro.obs import recorder as obs
 from repro.obs import slog
+from repro.obs import trace
 from repro.serve.cache import ResultCache, compute_key, render_report
 from repro.serve.journal import JobJournal
 from repro.serve.retry import CircuitBreaker, RetryPolicy, TransientJobError
@@ -183,9 +184,33 @@ class Job:
     result: Optional[dict] = None
     attempts: int = 0
     done: threading.Event = field(default_factory=threading.Event)
+    #: trace context (:meth:`TraceContext.to_dict`) minted at admission;
+    #: rides the journal so a recovered job keeps its request identity
+    trace: Optional[dict] = None
+    #: admission wall-clock, for the per-tenant latency series
+    created: float = field(default_factory=time.time)
+    #: streaming subscribers: queues fed every progress/diagnostic/result
+    #: event of this job (attached at admission, before execution starts)
+    subscribers: List["queue.Queue"] = field(default_factory=list)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self.done.wait(timeout)
+
+    def subscribe(self) -> "queue.Queue":
+        subscriber: "queue.Queue" = queue.Queue()
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def publish(self, event: dict) -> None:
+        for subscriber in list(self.subscribers):
+            try:
+                subscriber.put_nowait(event)
+            except queue.Full:  # pragma: no cover - unbounded by default
+                pass
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.get("trace") if isinstance(self.trace, dict) else None
 
     def status(self) -> dict:
         doc = {"job": self.id, "state": self.state, "kind": self.kind}
@@ -218,26 +243,47 @@ def _apply_test_fault(fault: Optional[dict]) -> None:
         time.sleep(float(fault.get("sec", 0.1)))
 
 
-def _attempt_child(conn, source, limits, ladder_kind, resume_payload, capture, fault):
+def _attempt_child(
+    conn, source, limits, ladder_kind, resume_payload, capture, fault,
+    trace_ctx=None, trace_sink=None, stream=False,
+):
     """Worker-process body: run the ladder, ship a JSON-plain reply.
 
     Everything sent back is plain dicts/lists/scalars, so the reply
     never trips on pickling a domain object, and the parent can journal
-    and cache it as-is.
+    and cache it as-is.  ``trace_ctx``/``trace_sink`` re-establish the
+    request's trace context in this process (its spans land in a shard
+    file of its own); with ``stream`` the ladder's progress events are
+    forwarded over the pipe as ``("progress", event)`` messages ahead of
+    the final 4-tuple reply.
     """
     try:
         _apply_test_fault(fault)
-        with obs.recording() if capture else _null_context() as _:
-            program = parse(source)
-            ladder = (
-                baseline_ladder(limits) if ladder_kind == "baseline" else default_ladder(limits)
-            )
-            resume = Snapshot(payload=resume_payload) if resume_payload else None
-            report = analyze_with_fallback(program, limits=limits, ladder=ladder, resume=resume)
-            rendered = render_report(report)
-            snap = getattr(report.result, "snapshot", None)
-            snapshot_payload = snap.payload if snap is not None else None
-            counters = obs.counter_snapshot() if capture else None
+        if trace_sink:
+            trace.configure_sink(trace_sink, "worker")
+        span_ctx = trace.TraceContext.from_dict(trace_ctx) if trace_ctx else None
+        progress = None
+        if stream:
+            def progress(event, _conn=conn):
+                try:
+                    _conn.send(("progress", dict(event)))
+                except Exception:  # a dead pipe must not kill the attempt
+                    pass
+        with trace.activate(span_ctx), trace.span("serve.attempt", ladder=ladder_kind):
+            with obs.recording() if capture else _null_context() as _:
+                program = parse(source)
+                ladder = (
+                    baseline_ladder(limits) if ladder_kind == "baseline" else default_ladder(limits)
+                )
+                resume = Snapshot(payload=resume_payload) if resume_payload else None
+                report = analyze_with_fallback(
+                    program, limits=limits, ladder=ladder, resume=resume,
+                    progress=progress,
+                )
+                rendered = render_report(report)
+                snap = getattr(report.result, "snapshot", None)
+                snapshot_payload = snap.payload if snap is not None else None
+                counters = obs.counter_snapshot() if capture else None
         conn.send(("ok", rendered, snapshot_payload, counters))
     except BaseException as exc:  # the reply channel must never go silent
         try:
@@ -306,6 +352,7 @@ class AnalysisService:
         """
         if not obs.enabled():
             obs.enable(obs.Recorder(locked=True))
+        trace.configure_sink(self.state_dir / "traces", "daemon")
         self.started_at = time.time()
         self._recover()
         for index in range(max(1, self.config.workers)):
@@ -361,9 +408,11 @@ class AnalysisService:
                 return Job(id=job_id, kind="batch", batch=batch)
             request = AnalyzeRequest.from_json(record.get("request", {}))
             key, cfg_fp, limits = self._admission_identity(request)
+            shipped = record.get("trace")
             return Job(
                 id=job_id, kind="analyze", request=request,
                 key=key, cfg_fp=cfg_fp, limits=limits,
+                trace=shipped if isinstance(shipped, dict) else None,
             )
         except (ValueError, ParseError):
             obs.incr("serve.recovery_dropped")
@@ -436,7 +485,7 @@ class AnalysisService:
         key = compute_key(cfg_fp, DEFAULT_LADDER_ID, limits)
         return key, cfg_fp, limits
 
-    def submit(self, request: AnalyzeRequest) -> Tuple[str, object]:
+    def submit(self, request: AnalyzeRequest, subscriber=None) -> Tuple[str, object]:
         """Admit one request.
 
         Returns one of::
@@ -446,9 +495,15 @@ class AnalysisService:
                                           # identical in-flight job)
             ("rejected", message)         # parse error — client bug
             ("shed", info)                # queue full or draining
+
+        ``subscriber`` (a queue) is attached to the job *at admission*,
+        inside the lock, so a streaming client observes every event the
+        execution emits — subscribing after submit would race the worker.
+        The thread's active trace context (if any) becomes the job's.
         """
         if request.test_fault is not None and not self.config.allow_test_faults:
             request = replace(request, test_fault=None)
+        span_ctx = trace.current()
         try:
             key, cfg_fp, limits = self._admission_identity(request)
         except ParseError as exc:
@@ -465,22 +520,28 @@ class AnalysisService:
             inflight = self._inflight.get(key)
             if inflight is not None and not inflight.done.is_set():
                 obs.incr("serve.coalesced")
+                if subscriber is not None:
+                    inflight.subscribers.append(subscriber)
                 return "accepted", inflight
             job = Job(
                 id=uuid.uuid4().hex[:12], kind="analyze", request=request,
                 key=key, cfg_fp=cfg_fp, limits=limits,
+                trace=span_ctx.to_dict() if span_ctx is not None else None,
             )
+            if subscriber is not None:
+                job.subscribers.append(subscriber)
             # journal-first: the 202 promise must survive a SIGKILL that
             # lands before the queue drains
-            self.journal.append(
-                {
-                    "event": "accepted",
-                    "job": job.id,
-                    "kind": "analyze",
-                    "seq": time.time(),
-                    "request": request.to_json(),
-                }
-            )
+            accepted_record = {
+                "event": "accepted",
+                "job": job.id,
+                "kind": "analyze",
+                "seq": time.time(),
+                "request": request.to_json(),
+            }
+            if job.trace:
+                accepted_record["trace"] = job.trace
+            self.journal.append(accepted_record)
             try:
                 if faults.check("daemon.queue.overflow") is not None:
                     raise queue.Full
@@ -527,7 +588,11 @@ class AnalysisService:
                 misses.append(request)
         if not misses:
             return "hit", {"results": prelim}
-        job = Job(id=uuid.uuid4().hex[:12], kind="batch", batch=misses)
+        span_ctx = trace.current()
+        job = Job(
+            id=uuid.uuid4().hex[:12], kind="batch", batch=misses,
+            trace=span_ctx.to_dict() if span_ctx is not None else None,
+        )
         job.result = None
         job._prelim = prelim  # filled result skeleton; misses in order
         with self._lock:
@@ -568,7 +633,10 @@ class AnalysisService:
             except queue.Empty:
                 continue
             try:
-                with obs.span("serve.job"):
+                span_ctx = trace.TraceContext.from_dict(job.trace) if job.trace else None
+                with trace.activate(span_ctx), obs.span("serve.job"), trace.span(
+                    "serve.job", job=job.id, kind=job.kind
+                ):
                     if job.kind == "batch":
                         self._run_batch_job(job)
                     else:
@@ -598,7 +666,14 @@ class AnalysisService:
 
     def _run_job(self, job: Job) -> None:
         job.state = "running"
-        self.journal.append({"event": "started", "job": job.id, "attempt": job.attempts})
+        started_record = {"event": "started", "job": job.id, "attempt": job.attempts}
+        if job.trace_id:
+            started_record["trace"] = job.trace_id
+        self.journal.append(started_record)
+        progress = None
+        if job.subscribers:
+            def progress(event: dict, _job=job) -> None:
+                _job.publish({**event, "job": _job.id})
         ladder_kind, degraded = self._ladder_plan(job)
         exec_limits = job.limits
         pressure = faults.check("daemon.clock.pressure")
@@ -617,7 +692,7 @@ class AnalysisService:
         while True:
             try:
                 rendered, snapshot_payload = self._execute_attempt(
-                    job, ladder_kind, warm, exec_limits
+                    job, ladder_kind, warm, exec_limits, progress=progress
                 )
                 break
             except TransientJobError as exc:
@@ -631,9 +706,12 @@ class AnalysisService:
                     "serve.retry", job=job.id, attempt=attempt,
                     delay_sec=round(delay, 3), error=str(exc),
                 )
-                self.journal.append(
-                    {"event": "retry", "job": job.id, "attempt": attempt, "error": str(exc)}
-                )
+                retry_record = {
+                    "event": "retry", "job": job.id, "attempt": attempt, "error": str(exc),
+                }
+                if job.trace_id:
+                    retry_record["trace"] = job.trace_id
+                self.journal.append(retry_record)
                 obs.incr("serve.retries")
                 time.sleep(delay)
                 attempt += 1
@@ -643,6 +721,9 @@ class AnalysisService:
             rendered.setdefault("service_diagnostics", []).append(
                 f"DEGRADED: {degraded}"
             )
+        if progress is not None:
+            for diagnostic in rendered.get("diagnostics", []) or []:
+                progress({"event": "diagnostic", "diagnostic": str(diagnostic)})
         self._record_breaker(rendered)
         clean = not degraded
         if clean:
@@ -658,9 +739,13 @@ class AnalysisService:
         ladder_kind: str,
         warm: Optional[Snapshot],
         limits: Optional[EngineLimits] = None,
+        progress=None,
     ) -> Tuple[dict, Optional[dict]]:
         """One attempt, isolated per config.  Raises TransientJobError on
-        worker loss or watchdog timeout."""
+        worker loss or watchdog timeout.  ``progress`` (when the job has
+        streaming subscribers) receives the ladder's rung/heartbeat
+        events; under process isolation the child forwards them over the
+        reply pipe and this side fans them out."""
         request = job.request
         limits = limits if limits is not None else job.limits
         fault = request.test_fault if self.config.allow_test_faults else None
@@ -670,8 +755,12 @@ class AnalysisService:
             # same crash directive the SIGKILL crash suite uses
             fault = {"kind": "crash"}
         if self.config.isolation == "inline":
-            return self._execute_inline(request, limits, ladder_kind, warm, fault)
+            return self._execute_inline(
+                request, limits, ladder_kind, warm, fault, progress=progress
+            )
         timeout = self._attempt_timeout(limits, ladder_kind)
+        span_ctx = trace.current()
+        sink = trace.sink()
         ctx = _fork_context()
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
@@ -680,19 +769,37 @@ class AnalysisService:
                 child_conn, request.program, limits, ladder_kind,
                 warm.payload if warm is not None else None,
                 obs.enabled(), fault,
+                span_ctx.to_dict() if span_ctx is not None else None,
+                str(sink) if sink is not None else None,
+                progress is not None,
             ),
         )
         process.start()
         child_conn.close()
+        reply = None
         try:
-            if not parent_conn.poll(timeout):
-                obs.incr("serve.watchdog_timeouts")
-                raise TransientJobError(f"attempt timed out after {timeout:.1f}s")
-            try:
-                reply = parent_conn.recv()
-            except (EOFError, OSError):
-                obs.incr("serve.worker_lost")
-                raise TransientJobError("worker process died without replying")
+            deadline = time.monotonic() + timeout
+            while reply is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    obs.incr("serve.watchdog_timeouts")
+                    raise TransientJobError(f"attempt timed out after {timeout:.1f}s")
+                if not parent_conn.poll(min(remaining, 0.5)):
+                    continue
+                try:
+                    message = parent_conn.recv()
+                except (EOFError, OSError):
+                    obs.incr("serve.worker_lost")
+                    raise TransientJobError("worker process died without replying")
+                if (
+                    isinstance(message, tuple)
+                    and len(message) == 2
+                    and message[0] == "progress"
+                ):
+                    if progress is not None and isinstance(message[1], dict):
+                        progress(message[1])
+                    continue
+                reply = message
         finally:
             parent_conn.close()
             if process.is_alive():
@@ -712,7 +819,7 @@ class AnalysisService:
             obs.incr("serve.cache.warm_starts")
         return payload, snapshot_payload
 
-    def _execute_inline(self, request, limits, ladder_kind, warm, fault):
+    def _execute_inline(self, request, limits, ladder_kind, warm, fault, progress=None):
         """In-thread attempt (tests / bench): per-job recorder isolation
         via ``job_recording`` keeps concurrent jobs' counters separate."""
         if fault and fault.get("kind") == "crash":
@@ -721,9 +828,10 @@ class AnalysisService:
             time.sleep(float(fault.get("sec", 0.1)))
         program = parse(request.program)
         ladder = baseline_ladder(limits) if ladder_kind == "baseline" else default_ladder(limits)
-        with obs.job_recording() as recorder:
+        with trace.span("serve.attempt", ladder=ladder_kind), obs.job_recording() as recorder:
             report = analyze_with_fallback(
-                program, limits=limits, ladder=ladder, resume=warm
+                program, limits=limits, ladder=ladder, resume=warm,
+                progress=progress,
             )
             rendered = render_report(report)
             counters = dict(recorder.counters)
@@ -831,15 +939,27 @@ class AnalysisService:
         self._finish(job, document)
 
     def _finish(self, job: Job, document: dict) -> None:
-        self.journal.append(
-            {"event": "done", "job": job.id, "kind": job.kind, "result": document}
-        )
+        done_record = {"event": "done", "job": job.id, "kind": job.kind, "result": document}
+        if job.trace_id:
+            done_record["trace"] = job.trace_id
+        self.journal.append(done_record)
         job.result = document
         job.state = "done"
         with self._lock:
             if job.key and self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
+        tenant = None
+        if job.request is not None:
+            tenant = job.request.tenant
+        elif job.batch:
+            tenant = job.batch[0].tenant
+        if tenant:
+            obs.observe(
+                f"serve.tenant.latency_ms.{tenant}",
+                (time.time() - job.created) * 1000.0,
+            )
         job.done.set()
+        job.publish({"event": "result", "job": job.id, "result": document})
         obs.incr("serve.completed")
 
     # -- introspection ---------------------------------------------------------

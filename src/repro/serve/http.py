@@ -38,17 +38,22 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import signal
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 from typing import Optional, Tuple
 
 from repro.core.checkpoint import atomic_write_text
 from repro.faults import plane as faults
+from repro.obs import metrics
 from repro.obs import recorder as obs
 from repro.obs import slog
+from repro.obs import trace
 from repro.serve.daemon import AnalysisService, AnalyzeRequest, ServiceConfig
 
 #: request bodies above this are rejected outright (413) — an admission
@@ -81,8 +86,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, code: int, document: dict, headers: Optional[dict] = None) -> None:
         body = json.dumps(document).encode("utf-8")
+        self._send_body(code, body, "application/json", headers)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_body(code, text.encode("utf-8"), content_type)
+
+    def _send_body(
+        self, code: int, body: bytes, content_type: str, headers: Optional[dict] = None
+    ) -> None:
+        self._status_code = code
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, str(value))
@@ -137,9 +151,44 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return document
 
+    # -- RED accounting --------------------------------------------------------
+
+    _ENDPOINTS = {
+        "/healthz": "healthz",
+        "/readyz": "readyz",
+        "/stats": "stats",
+        "/metrics": "metrics",
+        "/v1/analyze": "analyze",
+        "/v1/batch": "batch",
+    }
+
+    def _endpoint_name(self) -> str:
+        if self.path.startswith("/v1/jobs/"):
+            return "jobs"
+        return self._ENDPOINTS.get(self.path, "other")
+
+    def _dispatch(self, route) -> None:
+        """Route one request, recording the RED series every endpoint
+        exposes on /metrics: a per-endpoint latency histogram and a
+        per-endpoint/per-status request counter."""
+        endpoint = self._endpoint_name()
+        self._status_code = 0
+        start = perf_counter()
+        try:
+            route()
+        finally:
+            obs.observe(
+                f"serve.http.latency_ms.{endpoint}",
+                (perf_counter() - start) * 1000.0,
+            )
+            obs.incr(f"serve.http.requests.{endpoint}.{self._status_code or 0}")
+
     # -- GET -------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._route_get)
+
+    def _route_get(self) -> None:
         if self.path == "/healthz":
             self._send_json(200, {"status": "ok"})
         elif self.path == "/readyz":
@@ -149,6 +198,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, {"status": "ready"})
         elif self.path == "/stats":
             self._send_json(200, self.service.stats())
+        elif self.path == "/metrics":
+            self._handle_metrics()
         elif self.path.startswith("/v1/jobs/"):
             job_id = self.path[len("/v1/jobs/"):]
             job = self.service.get_job(job_id)
@@ -161,9 +212,29 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no route for {self.path!r}"})
 
+    def _handle_metrics(self) -> None:
+        """Serve the Prometheus exposition.  A monitoring endpoint must
+        never be the thing that takes the daemon down: any render failure
+        (including the injected ``metrics.render.fail`` fault) degrades
+        to a minimal, still-parseable document instead of a 500."""
+        try:
+            text = metrics.render(self.service)
+        except Exception as exc:
+            obs.incr("serve.metrics.render_errors")
+            slog.warning("serve.metrics_render_failed", error=str(exc))
+            errors = 1
+            recorder = obs.active_recorder()
+            if isinstance(recorder, obs.Recorder):
+                errors = recorder.counters.get("serve.metrics.render_errors", 1)
+            text = metrics.fallback_exposition(errors)
+        self._send_text(200, text, metrics.CONTENT_TYPE)
+
     # -- POST ------------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._route_post)
+
+    def _route_post(self) -> None:
         document = self._read_body()
         if document is None:
             return
@@ -192,20 +263,131 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
-        wait = bool(document.get("wait", True))
-        status, payload = self.service.submit(request)
-        if status == "hit":
-            self._send_json(200, {"cache": "hit", "result": payload})
-        elif status == "rejected":
+        # one trace per admitted request; a client-supplied X-Repro-Trace
+        # id wins so callers can correlate with their own systems
+        span_ctx = trace.mint(self.headers.get("X-Repro-Trace"))
+        with trace.activate(span_ctx):
+            if document.get("stream"):
+                self._stream_analyze(document, request, span_ctx)
+                return
+            wait = bool(document.get("wait", True))
+            with trace.span("http.analyze"):
+                status, payload = self.service.submit(request)
+            if status == "hit":
+                self._send_json(
+                    200, {"cache": "hit", "trace": span_ctx.trace_id, "result": payload}
+                )
+            elif status == "rejected":
+                self._send_json(400, {"error": payload})
+            elif status == "shed":
+                self._shed_response(payload)
+            else:  # accepted
+                job = payload
+                if wait and job.wait(self._wait_budget(document)):
+                    self._send_json(
+                        200,
+                        {
+                            "cache": "miss",
+                            "job": job.id,
+                            "trace": job.trace_id or span_ctx.trace_id,
+                            "result": job.result,
+                        },
+                    )
+                else:
+                    self._send_json(
+                        202,
+                        {
+                            "job": job.id,
+                            "state": job.state,
+                            "trace": job.trace_id or span_ctx.trace_id,
+                        },
+                    )
+
+    # -- streaming diagnostics -------------------------------------------------
+
+    def _begin_stream(self) -> None:
+        self._status_code = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+
+    def _send_chunk(self, event: dict) -> bool:
+        """One JSONL event as one HTTP/1.1 chunk; False once the client
+        is gone (the job still completes server-side)."""
+        data = (json.dumps(event) + "\n").encode("utf-8")
+        frame = ("%X\r\n" % len(data)).encode("ascii") + data + b"\r\n"
+        try:
+            if faults.check("http.client.disconnect") is not None:
+                raise BrokenPipeError(
+                    "injected fault http.client.disconnect: peer reset mid-stream"
+                )
+            self.wfile.write(frame)
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            obs.incr("serve.http.client_disconnects")
+            self.close_connection = True
+            return False
+
+    def _end_stream(self) -> None:
+        try:
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            obs.incr("serve.http.client_disconnects")
+            self.close_connection = True
+
+    def _stream_analyze(self, document: dict, request: AnalyzeRequest, span_ctx) -> None:
+        """Incremental mode: the job's life as chunked JSONL events —
+        ``admission`` then (cache miss) ``rung``/``progress``/
+        ``diagnostic`` as execution emits them, terminated by ``result``
+        (or ``timeout`` once the wait budget is spent; the job id in the
+        timeout event still polls via ``/v1/jobs/<id>``)."""
+        subscriber: "queue.Queue" = queue.Queue()
+        with trace.span("http.analyze", stream=True):
+            status, payload = self.service.submit(request, subscriber=subscriber)
+        if status == "rejected":
             self._send_json(400, {"error": payload})
-        elif status == "shed":
+            return
+        if status == "shed":
             self._shed_response(payload)
-        else:  # accepted
-            job = payload
-            if wait and job.wait(self._wait_budget(document)):
-                self._send_json(200, {"cache": "miss", "job": job.id, "result": job.result})
-            else:
-                self._send_json(202, {"job": job.id, "state": job.state})
+            return
+        obs.incr("serve.http.streams")
+        base = {"trace": span_ctx.trace_id}
+        self._begin_stream()
+        if status == "hit":
+            if self._send_chunk({"event": "admission", "cache": "hit", **base}):
+                self._send_chunk({"event": "result", "result": payload, **base})
+            self._end_stream()
+            return
+        job = payload
+        if not self._send_chunk(
+            {"event": "admission", "cache": "miss", "job": job.id, **base}
+        ):
+            return
+        deadline = time.monotonic() + self._wait_budget(document)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._send_chunk(
+                    {"event": "timeout", "job": job.id, "state": job.state, **base}
+                )
+                break
+            try:
+                event = subscriber.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                if job.done.is_set() and subscriber.empty():
+                    # completed before our subscription saw the result event
+                    event = {"event": "result", "job": job.id, "result": job.result}
+                else:
+                    continue
+            if not self._send_chunk({**base, **event}):
+                return
+            if event.get("event") == "result":
+                break
+        self._end_stream()
 
     def _handle_batch(self, document: dict) -> None:
         raw_items = document.get("programs")
@@ -224,17 +406,20 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
-        status, payload = self.service.submit_batch(requests)
-        if status == "hit":
-            self._send_json(200, payload)
-        elif status == "shed":
-            self._shed_response(payload)
-        else:
-            job = payload
-            if bool(document.get("wait", True)) and job.wait(self._wait_budget(document)):
-                self._send_json(200, {"job": job.id, **job.result})
+        span_ctx = trace.mint(self.headers.get("X-Repro-Trace"))
+        with trace.activate(span_ctx):
+            with trace.span("http.batch", items=len(requests)):
+                status, payload = self.service.submit_batch(requests)
+            if status == "hit":
+                self._send_json(200, payload)
+            elif status == "shed":
+                self._shed_response(payload)
             else:
-                self._send_json(202, {"job": job.id, "state": job.state})
+                job = payload
+                if bool(document.get("wait", True)) and job.wait(self._wait_budget(document)):
+                    self._send_json(200, {"job": job.id, **job.result})
+                else:
+                    self._send_json(202, {"job": job.id, "state": job.state})
 
     def _wait_budget(self, document: dict) -> float:
         try:

@@ -27,6 +27,8 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional
 
+from repro.obs.recorder import percentile
+
 
 def corpus_mix(count: int, duplicates: int, seed: int = 1337) -> List[str]:
     """``count`` distinct generated programs, each repeated ``duplicates``
@@ -61,11 +63,23 @@ def _post_json(url: str, document: dict, timeout: float = 120.0) -> Dict[str, ob
 
 
 def _percentile(values: List[float], q: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    last = len(ordered) - 1
-    return ordered[min(last, int(q * last + 0.5))]
+    # one nearest-rank implementation for the whole telemetry plane: the
+    # recorder's histograms, the /metrics summaries, and these latencies
+    # must agree on what "p99" means
+    return percentile(values, q) or 0.0
+
+
+def scrape_metrics(base_url: str, timeout: float = 10.0) -> Dict[str, float]:
+    """One ``/metrics`` scrape, parsed into a flat ``name{labels}`` map."""
+    from repro.obs import metrics as metrics_mod
+
+    url = base_url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8")
+    problems = metrics_mod.validate_exposition(text)
+    if problems:
+        raise ValueError(f"unparseable /metrics exposition: {problems[0]}")
+    return metrics_mod.parse_exposition(text)
 
 
 def run_load(
@@ -130,6 +144,7 @@ def run_load(
         "latency_ms": {
             "p50": _percentile(latencies, 0.50) * 1000.0,
             "p90": _percentile(latencies, 0.90) * 1000.0,
+            "p95": _percentile(latencies, 0.95) * 1000.0,
             "p99": _percentile(latencies, 0.99) * 1000.0,
         },
     }

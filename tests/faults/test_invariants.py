@@ -16,7 +16,7 @@ def test_channel_routing_covers_catalog():
         )
         for name in CATALOG
     }
-    assert routed <= {"service", "shard", "http", "ckpt"}
+    assert routed <= {"service", "shard", "http", "ckpt", "metrics"}
 
 
 def test_single_service_case_passes(tmp_path):
@@ -39,6 +39,16 @@ def test_single_shard_case_passes(tmp_path):
     case = invariants.run_case(1337, 8, tmp_path)
     assert case.channel == "shard"
     assert case.ok, case.violations
+
+
+def test_single_metrics_case_passes(tmp_path):
+    """metrics.render.fail is the last catalog point: its case index is
+    len(CATALOG) - 1.  The scrape channel must survive the injected render
+    failure with nothing but parseable 200s."""
+    case = invariants.run_case(1337, list(CATALOG).index("metrics.render.fail"), tmp_path)
+    assert case.channel == "metrics"
+    assert case.ok, case.violations
+    assert case.coverage["metrics.render.fail"]["fired"] >= 1
 
 
 def test_report_merges_coverage(tmp_path):

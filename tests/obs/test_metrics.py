@@ -1,0 +1,156 @@
+"""The Prometheus exposition: rendering, labeling, hardening, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plane import FaultSchedule, PlannedFault, install, uninstall
+from repro.obs import metrics, recorder as obs
+
+
+class TestMangle:
+    def test_dotted_names(self):
+        assert metrics._mangle("engine.steps") == "repro_engine_steps"
+        assert metrics._mangle("serve.cache.hits") == "repro_serve_cache_hits"
+
+    def test_hostile_characters(self):
+        mangled = metrics._mangle("a.b-c d{e}")
+        assert metrics._NAME_OK.match(mangled)
+
+
+class TestRender:
+    def test_empty_render_is_parseable_and_up(self):
+        text = metrics.render()
+        assert metrics.validate_exposition(text) == []
+        assert metrics.parse_exposition(text)["repro_up"] == 1.0
+
+    def test_counters_become_total_families(self):
+        obs.enable()
+        obs.incr("engine.steps", 17)
+        text = metrics.render()
+        samples = metrics.parse_exposition(text)
+        assert samples["repro_engine_steps_total"] == 17.0
+        assert "# TYPE repro_engine_steps_total counter" in text
+
+    def test_histograms_become_summaries(self):
+        obs.enable()
+        for value in range(1, 101):
+            obs.observe("engine.worklist.length", float(value))
+        samples = metrics.parse_exposition(metrics.render())
+        assert samples["repro_engine_worklist_length_count"] == 100.0
+        assert samples["repro_engine_worklist_length_sum"] == 5050.0
+        assert samples['repro_engine_worklist_length{quantile="0.5"}'] == 51.0
+        assert samples['repro_engine_worklist_length{quantile="0.99"}'] == 99.0
+
+    def test_endpoint_latency_folds_into_labels(self):
+        obs.enable()
+        obs.observe("serve.http.latency_ms.analyze", 5.0)
+        obs.observe("serve.http.latency_ms.healthz", 1.0)
+        text = metrics.render()
+        samples = metrics.parse_exposition(text)
+        assert (
+            samples['repro_serve_http_latency_ms{endpoint="analyze",quantile="0.5"}']
+            == 5.0
+        )
+        assert (
+            samples['repro_serve_http_latency_ms{endpoint="healthz",quantile="0.5"}']
+            == 1.0
+        )
+        # one family header, not one per endpoint
+        assert text.count("# TYPE repro_serve_http_latency_ms summary") == 1
+
+    def test_request_counters_fold_endpoint_and_code(self):
+        obs.enable()
+        obs.incr("serve.http.requests.analyze.200", 3)
+        obs.incr("serve.http.requests.analyze.400")
+        samples = metrics.parse_exposition(metrics.render())
+        assert (
+            samples['repro_serve_http_requests_total{code="200",endpoint="analyze"}']
+            == 3.0
+        )
+        assert (
+            samples['repro_serve_http_requests_total{code="400",endpoint="analyze"}']
+            == 1.0
+        )
+
+    def test_tenant_latency_folds_into_labels(self):
+        obs.enable()
+        obs.observe("serve.tenant.latency_ms.default", 42.0)
+        samples = metrics.parse_exposition(metrics.render())
+        assert (
+            samples['repro_serve_tenant_latency_ms{quantile="0.5",tenant="default"}']
+            == 42.0
+        )
+
+    def test_fault_plane_series_when_engaged(self):
+        install(FaultSchedule.for_case(1, 0))
+        try:
+            text = metrics.render()
+        finally:
+            uninstall()
+        samples = metrics.parse_exposition(text)
+        arrivals = [k for k in samples if k.startswith("repro_fault_arrivals_total")]
+        assert arrivals, "engaged plane must export per-point arrival counters"
+
+    def test_merged_worker_counters_render(self):
+        """Counters shipped home from a worker process via merge_counters
+        must appear in the exposition — the regression this PR guards."""
+        recorder = obs.enable()
+        obs.merge_counters({"engine.steps": 55, "engine.intern.hits": 7})
+        samples = metrics.parse_exposition(metrics.render())
+        assert samples["repro_engine_steps_total"] == 55.0
+        assert samples["repro_engine_intern_hits_total"] == 7.0
+        assert recorder is obs.active_recorder()
+
+
+class TestHardening:
+    def test_injected_render_fault_raises(self):
+        schedule = FaultSchedule(
+            [PlannedFault(point="metrics.render.fail", hit=1, count=1)],
+            focus="metrics.render.fail",
+        )
+        install(schedule)
+        try:
+            with pytest.raises(RuntimeError):
+                metrics.render()
+            # the plan covered only the first arrival: next scrape recovers
+            assert metrics.validate_exposition(metrics.render()) == []
+        finally:
+            uninstall()
+
+    def test_fallback_exposition_is_parseable(self):
+        text = metrics.fallback_exposition(errors=3)
+        assert metrics.validate_exposition(text) == []
+        samples = metrics.parse_exposition(text)
+        assert samples["repro_up"] == 0.0
+        assert samples["repro_metrics_render_errors_total"] == 3.0
+
+
+class TestValidate:
+    def test_accepts_own_render(self):
+        obs.enable()
+        obs.incr("engine.steps")
+        obs.observe("engine.state_bytes", 10.0)
+        assert metrics.validate_exposition(metrics.render()) == []
+
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ("", "empty"),
+            ("garbage line here\n", "unparseable"),
+            ("# NOPE foo bar\n", "malformed comment"),
+            ("# TYPE foo flavor\nfoo 1\n", "unknown TYPE"),
+            ("repro_x NaN\n", "NaN"),
+        ],
+    )
+    def test_rejects_malformed(self, text, needle):
+        problems = metrics.validate_exposition(text)
+        assert problems and needle in problems[0]
+
+    def test_parse_skips_comments_and_garbage(self):
+        text = "# HELP a b\n# TYPE a counter\na 1\nnot-a-sample!!\n"
+        assert metrics.parse_exposition(text) == {"a": 1.0}
+
+    def test_sample_names_strip_labels(self):
+        text = 'x{l="1"} 1\nx{l="2"} 2\ny 3\n'
+        assert metrics.sample_names(text) == ["x", "y"]
